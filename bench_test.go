@@ -1,0 +1,300 @@
+// Paper-level benchmark harness: one testing.B target per table and figure
+// in the evaluation. Each benchmark regenerates its table/figure from
+// scratch per iteration (workload generation, simulation, aggregation) and
+// reports the experiment's headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// both exercises the full pipeline and prints the reproduced numbers.
+// Benchmarks default to reduced fidelity (one seed, 10-day horizon) so the
+// suite completes in seconds; run cmd/paperbench for full-fidelity output.
+package spothost
+
+import (
+	"testing"
+
+	"spothost/internal/cloud"
+	"spothost/internal/experiments"
+	"spothost/internal/market"
+	"spothost/internal/sched"
+	"spothost/internal/sim"
+	"spothost/internal/tpcw"
+	"spothost/internal/vm"
+)
+
+// benchOpts returns the reduced-fidelity options used by the benchmarks.
+func benchOpts() experiments.Options {
+	o := experiments.Quick()
+	o.Seeds = []int64{11}
+	return o
+}
+
+// BenchmarkFigure1PriceTraces regenerates the Fig. 1 month-long spot price
+// traces and their summary statistics.
+func BenchmarkFigure1PriceTraces(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = r.Summaries[0].Mean / r.Summaries[0].OnDemand
+	}
+	b.ReportMetric(mean, "spot/od-ratio")
+}
+
+// BenchmarkTable1StartupTimes measures instance allocation latencies
+// through the simulated provider.
+func BenchmarkTable1StartupTimes(b *testing.B) {
+	var spot float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		spot = r.Spot["us-east-1"]
+	}
+	b.ReportMetric(spot, "spot-startup-s")
+}
+
+// BenchmarkTable2MigrationOverheads evaluates the migration mechanism
+// latency models (live migrate / checkpoint / disk copy).
+func BenchmarkTable2MigrationOverheads(b *testing.B) {
+	var live float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = r.LiveIntra["us-east-1a"]
+	}
+	b.ReportMetric(live, "live-2GB-s")
+}
+
+// BenchmarkFigure6ProactiveVsReactive runs the proactive-vs-reactive
+// comparison across all four instance sizes (Fig. 6a-d).
+func BenchmarkFigure6ProactiveVsReactive(b *testing.B) {
+	var proactCost, proactUnavail float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		proactCost = r.Rows[0].Proact.NormalizedCost()
+		proactUnavail = r.Rows[0].Proact.Unavailability()
+	}
+	b.ReportMetric(100*proactCost, "proact-cost-%")
+	b.ReportMetric(100*proactUnavail, "proact-unavail-%")
+}
+
+// BenchmarkFigure7MigrationMechanisms compares the four mechanism
+// combinations under typical and pessimistic constants (Fig. 7).
+func BenchmarkFigure7MigrationMechanisms(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = r.Cells[len(r.Cells)-1].Typical.Unavailability()
+	}
+	b.ReportMetric(100*best, "lr+live-unavail-%")
+}
+
+// BenchmarkFigure8MultiMarket runs single- vs multi-market fleets in every
+// region (Fig. 8a-c).
+func BenchmarkFigure8MultiMarket(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = r.Rows[0].Reduction
+	}
+	b.ReportMetric(100*reduction, "multi-reduction-%")
+}
+
+// BenchmarkFigure9MultiRegion runs single- vs multi-region fleets over all
+// region pairs (Fig. 9a-c).
+func BenchmarkFigure9MultiRegion(b *testing.B) {
+	var cost float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost = r.Rows[0].Multi.NormalizedCost()
+	}
+	b.ReportMetric(100*cost, "multi-region-cost-%")
+}
+
+// BenchmarkFigure10PriceVariability computes per-region per-size price
+// standard deviations (Fig. 10).
+func BenchmarkFigure10PriceVariability(b *testing.B) {
+	var east float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		east = r.StdDev["us-east-1a"]["xlarge"]
+	}
+	b.ReportMetric(east, "useast-xlarge-std-$")
+}
+
+// BenchmarkFigure11PureSpot compares migration-based hosting against spot
+// instances alone (Fig. 11a-b).
+func BenchmarkFigure11PureSpot(b *testing.B) {
+	var pure float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pure = r.Rows[0].PureSpot.Unavailability()
+	}
+	b.ReportMetric(100*pure, "pure-spot-unavail-%")
+}
+
+// BenchmarkTable3CostAvailabilityMatrix derives the qualitative matrix
+// from measured runs (Table 3).
+func BenchmarkTable3CostAvailabilityMatrix(b *testing.B) {
+	var ok float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.MigrationIsBest {
+			ok = 1
+		}
+	}
+	b.ReportMetric(ok, "migration-best")
+}
+
+// BenchmarkTable4NestedIOOverhead measures nested-vs-native I/O throughput
+// (Table 4).
+func BenchmarkTable4NestedIOOverhead(b *testing.B) {
+	var deg float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		deg = r.DegradationPct[2]
+	}
+	b.ReportMetric(deg, "disk-read-deg-%")
+}
+
+// BenchmarkFigure12TPCWOverhead sweeps the TPC-W load for both workload
+// configurations on native and nested VMs (Fig. 12a-b).
+func BenchmarkFigure12TPCWOverhead(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure12(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.NoImages[len(r.NoImages)-1]
+		ratio = last.NestedMs / last.NativeMs
+	}
+	b.ReportMetric(ratio, "cpu-bound-400EB-ratio")
+}
+
+// BenchmarkSection6OverheadImpact derives the worst-case cost savings
+// under nested CPU overhead (Sec. 6 text).
+func BenchmarkSection6OverheadImpact(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Section6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = r.WorstCaseCost
+	}
+	b.ReportMetric(100*worst, "worst-cost-%")
+}
+
+// BenchmarkAblationDesignChoices sweeps the scheduler's design knobs (bid
+// multiple, checkpoint bound, hysteresis, stability penalty) — the
+// ablation studies DESIGN.md calls out.
+func BenchmarkAblationDesignChoices(b *testing.B) {
+	var forcedAtCap float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Ablations(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		forcedAtCap = r.BidMultiple[len(r.BidMultiple)-1].Report.ForcedPerHour()
+	}
+	b.ReportMetric(forcedAtCap, "forced/hr-at-4x-bid")
+}
+
+// BenchmarkRobustnessRegimes runs the policies under the alternative
+// banded-reserve price regime (Agmon Ben-Yehuda et al.) and the calibrated
+// one — the conclusions-degrade-gracefully check.
+func BenchmarkRobustnessRegimes(b *testing.B) {
+	var bandedUnavail float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Robustness(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bandedUnavail = r.Rows[0].Banded.Unavailability()
+	}
+	b.ReportMetric(100*bandedUnavail, "banded-unavail-%")
+}
+
+// --- component micro-benchmarks -------------------------------------------
+// These measure the substrates themselves rather than paper artifacts.
+
+// BenchmarkMarketGenerate measures synthetic-universe generation (16
+// markets x 30 days).
+func BenchmarkMarketGenerate(b *testing.B) {
+	cfg := market.DefaultConfig(1)
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := market.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerMonth measures one 30-day proactive hosting run
+// end-to-end (price events, revocations, migrations, billing).
+func BenchmarkSchedulerMonth(b *testing.B) {
+	home := market.ID{Region: "us-east-1a", Type: "small"}
+	cfg, err := sched.DefaultConfig(home, market.DefaultTypes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcfg := market.DefaultConfig(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.RunSeeds(mcfg, cloud.DefaultParams(0), cfg,
+			30*sim.Day, []int64{int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveMigrationModel measures the pre-copy timeline computation.
+func BenchmarkLiveMigrationModel(b *testing.B) {
+	p := vm.DefaultParams()
+	spec := vm.Spec{MemoryGB: 15, DirtyRateMBps: 12, DiskGB: 8, Units: 8}
+	for i := 0; i < b.N; i++ {
+		tl := vm.LiveMigrationTimeline(spec, p.LiveBandwidthMBps, p)
+		if tl.Duration <= 0 {
+			b.Fatal("degenerate timeline")
+		}
+	}
+}
+
+// BenchmarkTPCWRun measures one 400-EB closed-loop TPC-W simulation.
+func BenchmarkTPCWRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tpcw.Run(tpcw.DefaultConfig(400, false, true, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command paperbench regenerates every table and figure from the paper's
+// evaluation and prints them in order.
+//
+// Usage:
+//
+//	paperbench [-quick] [-only figure6] [-seeds 5] [-days 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spothost/internal/experiments"
+	"spothost/internal/sim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced seeds and horizon for a fast smoke run")
+	only := flag.String("only", "", "run a single experiment by name (e.g. figure6)")
+	seeds := flag.Int("seeds", 0, "override the number of seeds (1-16)")
+	days := flag.Float64("days", 0, "override the horizon in days")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	csvDir := flag.String("csv", "", "also write <experiment>.csv files into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.Name)
+		}
+		return
+	}
+
+	opts := experiments.Defaults()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *seeds > 0 && *seeds <= 16 {
+		opts.Seeds = opts.Seeds[:0]
+		for i := 0; i < *seeds; i++ {
+			opts.Seeds = append(opts.Seeds, int64(11*(i+1)))
+		}
+	}
+	if *days > 0 {
+		opts.Horizon = *days * sim.Day
+		opts.Market.Horizon = opts.Horizon
+	}
+
+	writeCSV := func(name string, res experiments.Renderer) {
+		if *csvDir == "" {
+			return
+		}
+		exp, ok := res.(experiments.CSVExporter)
+		if !ok {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		if err := os.WriteFile(path, []byte(exp.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	if *only != "" {
+		e, ok := experiments.Find(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *only)
+			os.Exit(2)
+		}
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		writeCSV(e.Name, res)
+		return
+	}
+	for _, e := range experiments.All() {
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\n%s\n", e.Name, res.Render())
+		writeCSV(e.Name, res)
+	}
+}

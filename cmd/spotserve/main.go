@@ -1,0 +1,33 @@
+// Command spotserve exposes the spothost simulators over HTTP (see
+// internal/httpapi for the routes):
+//
+//	spotserve -addr :8080
+//	curl localhost:8080/v1/experiments
+//	curl -X POST localhost:8080/v1/experiments/figure7 -d '{"quick":true}'
+//	curl -X POST localhost:8080/v1/scenario -d @study.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"spothost/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: httpapi.Handler(),
+		// Experiments at full fidelity run for tens of seconds.
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 10 * time.Minute,
+	}
+	fmt.Printf("spotserve listening on %s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

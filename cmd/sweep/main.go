@@ -1,0 +1,134 @@
+// Command sweep runs a parameter sweep over one scheduler knob and prints
+// CSV rows (value, normalized cost, unavailability, forced/hr, migrations)
+// suitable for plotting.
+//
+// Usage:
+//
+//	sweep -knob bid -values 1.5,2,3,4
+//	sweep -knob tau -values 1,3,10,30 -days 30 -seeds 5
+//	sweep -knob hysteresis -values 0,0.05,0.15,0.4
+//	sweep -knob lambda -values 0,0.5,1,2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spothost/internal/cloud"
+	"spothost/internal/market"
+	"spothost/internal/metrics"
+	"spothost/internal/sched"
+	"spothost/internal/sim"
+	"spothost/internal/vm"
+)
+
+func main() {
+	knob := flag.String("knob", "bid", "bid | tau | hysteresis | lambda")
+	valuesF := flag.String("values", "", "comma-separated knob values")
+	region := flag.String("region", "us-east-1a", "home region")
+	typeF := flag.String("type", "small", "home instance type")
+	days := flag.Float64("days", 30, "horizon in days")
+	seedsN := flag.Int("seeds", 3, "seeds to average over")
+	fleet := flag.Int("vms", 0, "fleet size for multi-market knobs (default 4 for hysteresis/lambda)")
+	flag.Parse()
+
+	values, err := parseValues(*valuesF, *knob)
+	if err != nil {
+		fatal(err)
+	}
+	var seeds []int64
+	for i := 0; i < *seedsN; i++ {
+		seeds = append(seeds, int64(23*(i+1)))
+	}
+	mcfg := market.DefaultConfig(0)
+	if h := *days * sim.Day; h > mcfg.Horizon {
+		mcfg.Horizon = h
+	}
+	home := market.ID{Region: market.Region(*region), Type: market.InstanceType(*typeF)}
+
+	fmt.Printf("knob,value,normalized_cost,unavailability,forced_per_hr,voluntary_per_hr,migrations\n")
+	for _, v := range values {
+		cfg, err := buildConfig(*knob, v, home, *fleet)
+		if err != nil {
+			fatal(err)
+		}
+		rs, err := sched.RunSeeds(mcfg, cloud.DefaultParams(0), cfg, *days*sim.Day, seeds)
+		if err != nil {
+			fatal(err)
+		}
+		r := metrics.Average(rs)
+		fmt.Printf("%s,%g,%.5f,%.7f,%.5f,%.5f,%d\n",
+			*knob, v, r.NormalizedCost(), r.Unavailability(),
+			r.ForcedPerHour(), r.PlannedReversePerHour(), r.Migrations.Total())
+	}
+}
+
+// parseValues parses the -values list, with per-knob defaults.
+func parseValues(s, knob string) ([]float64, error) {
+	if s == "" {
+		switch knob {
+		case "bid":
+			return []float64{1.5, 2, 3, 4}, nil
+		case "tau":
+			return []float64{1, 3, 10, 30}, nil
+		case "hysteresis":
+			return []float64{0, 0.05, 0.15, 0.4}, nil
+		case "lambda":
+			return []float64{0, 0.5, 1, 2}, nil
+		}
+		return nil, fmt.Errorf("unknown knob %q", knob)
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// buildConfig applies the knob value to a scheduler config.
+func buildConfig(knob string, v float64, home market.ID, fleet int) (sched.Config, error) {
+	cfg, err := sched.DefaultConfig(home, market.DefaultTypes())
+	if err != nil {
+		return cfg, err
+	}
+	multiMarket := func() {
+		if fleet <= 0 {
+			fleet = 4
+		}
+		cfg.Service = sched.ServiceSpec{
+			VM:    vm.Spec{MemoryGB: 1.4, DirtyRateMBps: 8, DiskGB: 4, Units: 1},
+			Count: fleet,
+		}
+		cfg.Markets = nil
+		for _, ts := range market.DefaultTypes() {
+			cfg.Markets = append(cfg.Markets, market.ID{Region: home.Region, Type: ts.Name})
+		}
+	}
+	switch knob {
+	case "bid":
+		cfg.BidMultiple = v
+	case "tau":
+		cfg.VMParams.CheckpointBound = v
+	case "hysteresis":
+		multiMarket()
+		cfg.Hysteresis = v
+	case "lambda":
+		multiMarket()
+		cfg.StabilityPenalty = v
+	default:
+		return cfg, fmt.Errorf("unknown knob %q", knob)
+	}
+	return cfg, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Command tracegen generates synthetic spot-price traces in the repo's CSV
+// format (compatible with rebased AWS spot price history dumps).
+//
+// Usage:
+//
+//	tracegen -seed 42 -days 30 -out prices.csv
+//	tracegen -seed 1 -days 7 -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spothost/internal/market"
+	"spothost/internal/sim"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "generator seed")
+	days := flag.Float64("days", 30, "trace length in days")
+	out := flag.String("out", "", "output CSV path (default stdout)")
+	summary := flag.Bool("summary", false, "print per-market statistics instead of CSV")
+	flag.Parse()
+
+	cfg := market.DefaultConfig(*seed)
+	cfg.Horizon = *days * sim.Day
+	set, err := market.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *summary {
+		fmt.Printf("%-22s %9s %9s %9s %9s %8s %8s\n",
+			"market", "on-demand", "mean", "max", "stddev", ">od", ">4xod")
+		for _, id := range set.IDs() {
+			s := market.Summarize(set, id)
+			fmt.Printf("%-22s %9.3f %9.4f %9.3f %9.3f %7.2f%% %7.3f%%\n",
+				id, s.OnDemand, s.Mean, s.Max, s.StdDev,
+				100*s.FracAboveOD, 100*s.FracAbove4xOD)
+		}
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := market.WriteCSV(w, set); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package spothost reproduces "Cutting the Cost of Hosting Online Services
+// Using Cloud Spot Markets" (He, Shenoy, Sitaraman, Irwin — HPDC 2015): a
+// cloud scheduler that hosts always-on Internet services on revocable spot
+// servers at a fraction of the on-demand price, combining proactive
+// bidding with live migration, bounded memory checkpointing and lazy
+// restore so that revocations cost milliseconds-to-seconds of downtime
+// instead of outages.
+//
+// The root package carries the module documentation and the paper-level
+// benchmark harness (bench_test.go); the implementation lives under
+// internal/ (see DESIGN.md for the system inventory) and the runnable
+// entry points under cmd/ and examples/.
+package spothost

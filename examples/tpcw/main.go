@@ -1,0 +1,52 @@
+// TPC-W overhead study: should an e-shop hosted on nested VMs serve its
+// own images, or push them to a CDN? Reproduces the Section-6 trade-off:
+// nested virtualization is free for I/O-bound service but costs up to 50%
+// for CPU-bound page generation — which feeds back into how much capacity
+// (and therefore money) spot hosting really saves.
+//
+// Run with: go run ./examples/tpcw
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spothost/internal/tpcw"
+	"spothost/internal/vm"
+)
+
+func main() {
+	fmt.Println("TPC-W ordering mix (50% browse / 50% order), native vs nested VM")
+	for _, withImages := range []bool{true, false} {
+		label := "images served by our VMs (I/O-bound)"
+		if !withImages {
+			label = "images on a CDN (CPU-bound)"
+		}
+		fmt.Printf("\n-- %s --\n", label)
+		fmt.Printf("%6s %14s %14s %8s\n", "EBs", "native (ms)", "nested (ms)", "ratio")
+		for _, ebs := range []int{100, 200, 300, 400} {
+			nat, err := tpcw.Run(tpcw.DefaultConfig(ebs, withImages, false, 1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			nst, err := tpcw.Run(tpcw.DefaultConfig(ebs, withImages, true, 1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%6d %14.0f %14.0f %7.2fx\n",
+				ebs, nat.MeanResponseMs, nst.MeanResponseMs,
+				nst.MeanResponseMs/nat.MeanResponseMs)
+		}
+	}
+
+	ov := vm.DefaultOverhead()
+	fmt.Println("\nEffective nested-VM capacity by workload CPU share:")
+	for _, share := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		fmt.Printf("  cpu share %.0f%%  -> %.0f%% of native capacity\n",
+			100*share, 100*ov.EffectiveCapacityFactor(share))
+	}
+	fmt.Println("\nTakeaway: serve static bytes from the nested VMs freely, but")
+	fmt.Println("provision extra capacity (or CDN offload) for CPU-heavy tiers;")
+	fmt.Println("at worst the paper's 17-33% hosting cost doubles, still well")
+	fmt.Println("below the on-demand baseline.")
+}

@@ -1,0 +1,3 @@
+module spothost
+
+go 1.22

@@ -1,0 +1,134 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"spothost/internal/cloud"
+	"spothost/internal/econ"
+	"spothost/internal/market"
+	"spothost/internal/sched"
+	"spothost/internal/sim"
+	"spothost/internal/slo"
+	"spothost/internal/vm"
+)
+
+func universe(t *testing.T) *market.Set {
+	t.Helper()
+	cfg := market.DefaultConfig(404)
+	cfg.Horizon = 12 * sim.Day
+	set, err := market.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+var home = market.ID{Region: "us-east-1a", Type: "small"}
+
+func TestAdviseValidation(t *testing.T) {
+	set := universe(t)
+	if _, err := Advise(set, cloud.DefaultParams(1), Request{
+		Home: market.ID{Region: "mars", Type: "small"},
+	}); err == nil {
+		t.Fatal("unknown market accepted")
+	}
+	if _, err := Advise(set, cloud.DefaultParams(1), Request{
+		Home:    home,
+		Revenue: econ.RevenueModel{RequestsPerSecond: -1},
+	}); err == nil {
+		t.Fatal("bad revenue model accepted")
+	}
+}
+
+// TestAdviseRecommendsProactiveForFourNines: with the paper's four-nines
+// bar and meaningful revenue, the advisor lands on a proactive
+// configuration and rejects pure spot.
+func TestAdviseRecommendsProactiveForFourNines(t *testing.T) {
+	rec, err := Advise(universe(t), cloud.DefaultParams(404), Request{
+		Home:   home,
+		Target: slo.FourNines,
+		Revenue: econ.RevenueModel{
+			RequestsPerSecond:  20,
+			RevenuePerRequest:  0.001,
+			DegradedLossFactor: 0.3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full matrix: 3 policies x 4 mechanisms.
+	if len(rec.Candidates) != 12 {
+		t.Fatalf("candidates = %d", len(rec.Candidates))
+	}
+	if rec.Best == nil {
+		t.Fatalf("no recommendation:\n%s", rec.Render())
+	}
+	if rec.Best.Policy != sched.Proactive {
+		t.Fatalf("recommended %v, want proactive:\n%s", rec.Best.Policy, rec.Render())
+	}
+	if !rec.Best.MeetsTarget || rec.Best.Analysis.Net <= 0 {
+		t.Fatalf("best candidate unfit: %+v", rec.Best)
+	}
+	// Pure spot never meets four nines on this universe.
+	for _, c := range rec.Candidates {
+		if c.Policy == sched.PureSpot && c.MeetsTarget {
+			t.Fatalf("pure spot met four nines: %+v", c.Report)
+		}
+	}
+	// Ranking: compliant candidates precede non-compliant ones.
+	seenNoncompliant := false
+	for _, c := range rec.Candidates {
+		if !c.MeetsTarget {
+			seenNoncompliant = true
+		} else if seenNoncompliant {
+			t.Fatal("ranking interleaves compliant and non-compliant candidates")
+		}
+	}
+	out := rec.Render()
+	if !strings.Contains(out, "<= recommended") {
+		t.Fatalf("render missing recommendation marker:\n%s", out)
+	}
+}
+
+// TestAdviseHighRevenueSaysStayOnDemand: when a second of downtime costs
+// more than a month of savings, no spot configuration survives the math.
+func TestAdviseHighRevenueSaysStayOnDemand(t *testing.T) {
+	rec, err := Advise(universe(t), cloud.DefaultParams(404), Request{
+		Home:   home,
+		Target: slo.FourNines,
+		Revenue: econ.RevenueModel{
+			RequestsPerSecond: 100000,
+			RevenuePerRequest: 0.01, // $1000/s of revenue
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best != nil {
+		t.Fatalf("spot recommended despite ruinous downtime: %+v", rec.Best)
+	}
+	if !strings.Contains(rec.Render(), "stay on on-demand") {
+		t.Fatalf("render missing the stay-on-demand verdict:\n%s", rec.Render())
+	}
+}
+
+// TestAdviseNarrowedMatrix: explicit policy/mechanism lists narrow the
+// sweep.
+func TestAdviseNarrowedMatrix(t *testing.T) {
+	rec, err := Advise(universe(t), cloud.DefaultParams(404), Request{
+		Home:       home,
+		Policies:   []sched.Bidding{sched.Proactive},
+		Mechanisms: []vm.Mechanism{vm.CKPTLazyLive},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Candidates) != 1 {
+		t.Fatalf("candidates = %d", len(rec.Candidates))
+	}
+	// No target and free revenue: the single candidate wins on savings.
+	if rec.Best == nil || rec.Best.Mechanism != vm.CKPTLazyLive {
+		t.Fatalf("best = %+v", rec.Best)
+	}
+}

@@ -1,0 +1,92 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"spothost/internal/sim"
+)
+
+// buildLedgerFixture runs a mixed workload and returns the provider.
+func buildLedgerFixture(t *testing.T) (*sim.Engine, *Provider) {
+	t.Helper()
+	eng, p := newTestProvider(t)
+	// Spot instance revoked by the 7200 spike (partial hour refunded).
+	if _, err := p.RequestSpot(mSmall, 0.06, Callbacks{}); err != nil {
+		t.Fatal(err)
+	}
+	// On-demand instance running throughout.
+	if _, err := p.RequestOnDemand(mLarge, Callbacks{}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(10 * sim.Hour)
+	return eng, p
+}
+
+func TestLedgerByMarket(t *testing.T) {
+	_, p := buildLedgerFixture(t)
+	by := p.Ledger().ByMarket()
+	if len(by) != 2 {
+		t.Fatalf("markets in ledger = %d", len(by))
+	}
+	sum := 0.0
+	for _, v := range by {
+		sum += v
+	}
+	if math.Abs(sum-p.Ledger().Total()) > 1e-9 {
+		t.Fatalf("by-market sum %v != total %v", sum, p.Ledger().Total())
+	}
+	if by[mLarge] <= 0 {
+		t.Fatalf("on-demand market spend = %v", by[mLarge])
+	}
+}
+
+func TestLedgerByInstance(t *testing.T) {
+	_, p := buildLedgerFixture(t)
+	by := p.Ledger().ByInstance()
+	sum := 0.0
+	for _, v := range by {
+		sum += v
+	}
+	if math.Abs(sum-p.Ledger().Total()) > 1e-9 {
+		t.Fatalf("by-instance sum %v != total %v", sum, p.Ledger().Total())
+	}
+}
+
+func TestLedgerRefunds(t *testing.T) {
+	_, p := buildLedgerFixture(t)
+	// The revoked spot instance's in-progress hour was refunded.
+	if got := p.Ledger().Refunds(); got <= 0 {
+		t.Fatalf("refunds = %v, want positive", got)
+	}
+}
+
+func TestLedgerWindowTotal(t *testing.T) {
+	_, p := buildLedgerFixture(t)
+	l := p.Ledger()
+	whole := l.WindowTotal(0, 100*sim.Hour)
+	if math.Abs(whole-l.Total()) > 1e-9 {
+		t.Fatalf("whole-window %v != total %v", whole, l.Total())
+	}
+	first := l.WindowTotal(0, 2*sim.Hour)
+	rest := l.WindowTotal(2*sim.Hour, 100*sim.Hour)
+	if math.Abs(first+rest-whole) > 1e-9 {
+		t.Fatal("window partition not additive")
+	}
+}
+
+func TestLedgerHourlySpend(t *testing.T) {
+	_, p := buildLedgerFixture(t)
+	l := p.Ledger()
+	buckets := l.HourlySpend(sim.Hour, 10*sim.Hour)
+	sum := 0.0
+	for _, b := range buckets {
+		sum += b
+	}
+	if math.Abs(sum-l.Total()) > 1e-9 {
+		t.Fatalf("bucket sum %v != total %v", sum, l.Total())
+	}
+	if l.HourlySpend(0, 10) != nil || l.HourlySpend(10, 0) != nil {
+		t.Fatal("degenerate buckets accepted")
+	}
+}

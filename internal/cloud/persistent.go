@@ -1,0 +1,128 @@
+package cloud
+
+import (
+	"fmt"
+
+	"spothost/internal/market"
+	"spothost/internal/sim"
+)
+
+// SpotRequestID identifies an open persistent spot request.
+type SpotRequestID int64
+
+// SpotRequest is a persistent spot request, mirroring EC2's persistent
+// request type: it stays open while the market price exceeds the bid and
+// launches an instance as soon as the price allows. After a revocation the
+// request re-opens automatically and will launch again on the next price
+// dip. Cancel closes it for good (a running instance, if any, is not
+// terminated by cancellation — also EC2's behaviour).
+type SpotRequest struct {
+	id      SpotRequestID
+	market  market.ID
+	bid     float64
+	cb      Callbacks
+	open    bool
+	current *Instance
+	// launches counts instances ever launched by this request.
+	launches int
+}
+
+// ID returns the request identifier.
+func (r *SpotRequest) ID() SpotRequestID { return r.id }
+
+// Open reports whether the request is still active (waiting or holding an
+// instance).
+func (r *SpotRequest) Open() bool { return r.open }
+
+// Current returns the live instance fulfilled by the request, or nil while
+// waiting.
+func (r *SpotRequest) Current() *Instance {
+	if r.current != nil && r.current.State() != Terminated {
+		return r.current
+	}
+	return nil
+}
+
+// Launches returns how many instances the request has launched so far.
+func (r *SpotRequest) Launches() int { return r.launches }
+
+// RequestSpotPersistent opens a persistent spot request. The callbacks are
+// invoked for every instance the request launches over its lifetime.
+func (p *Provider) RequestSpotPersistent(id market.ID, bid float64, cb Callbacks) (*SpotRequest, error) {
+	if p.set.Trace(id) == nil {
+		return nil, fmt.Errorf("cloud: unknown market %s", id)
+	}
+	if bid <= 0 {
+		return nil, fmt.Errorf("cloud: non-positive bid %v", bid)
+	}
+	if max := p.MaxBid(id); bid > max+1e-12 {
+		return nil, fmt.Errorf("cloud: bid %v exceeds cap %v for %s", bid, max, id)
+	}
+	r := &SpotRequest{id: p.nextSpotReqID, market: id, bid: bid, cb: cb, open: true}
+	p.nextSpotReqID++
+	p.spotRequestsOpen[r.id] = r
+	// Watch the market for grantability; also try immediately.
+	p.SubscribePrice(id, func(t sim.Time, price float64) { p.tryFulfill(r) })
+	p.tryFulfill(r)
+	return r, nil
+}
+
+// CancelSpotRequest closes a persistent request. Idempotent. The currently
+// running instance, if any, keeps running and must be terminated
+// separately.
+func (p *Provider) CancelSpotRequest(r *SpotRequest) {
+	if !r.open {
+		return
+	}
+	r.open = false
+	delete(p.spotRequestsOpen, r.id)
+}
+
+// tryFulfill launches an instance for an open, idle request when the
+// current price permits.
+func (p *Provider) tryFulfill(r *SpotRequest) {
+	if !r.open || r.Current() != nil {
+		return
+	}
+	if p.SpotPrice(r.market) > r.bid {
+		return
+	}
+	inner := r.cb
+	in, err := p.RequestSpot(r.market, r.bid, Callbacks{
+		OnRunning: func(in *Instance) {
+			if inner.OnRunning != nil {
+				inner.OnRunning(in)
+			}
+		},
+		OnRevocationWarning: func(in *Instance, deadline sim.Time) {
+			if inner.OnRevocationWarning != nil {
+				inner.OnRevocationWarning(in, deadline)
+			}
+		},
+		OnTerminated: func(in *Instance, reason TerminationReason) {
+			if inner.OnTerminated != nil {
+				inner.OnTerminated(in, reason)
+			}
+			if r.current == in {
+				r.current = nil
+			}
+			// Persistent semantics: re-open after provider-initiated
+			// terminations; a user termination leaves the request open
+			// too, but EC2 cancels it if the user terminates via the
+			// request — modelled as staying open, matching "persistent".
+			if r.open {
+				p.tryFulfill(r)
+			}
+		},
+	})
+	if err != nil {
+		// Lost a race with a price change in this event round; the next
+		// price event retries.
+		return
+	}
+	r.current = in
+	r.launches++
+}
+
+// OpenSpotRequests returns the number of open persistent requests.
+func (p *Provider) OpenSpotRequests() int { return len(p.spotRequestsOpen) }

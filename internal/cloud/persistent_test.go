@@ -1,0 +1,149 @@
+package cloud
+
+import (
+	"testing"
+
+	"spothost/internal/market"
+	"spothost/internal/sim"
+)
+
+// persistentSet: price low (0.01), spikes above 0.06 during [7200, 10800)
+// and again during [20000, 23000).
+func persistentSet(t *testing.T) *market.Set {
+	t.Helper()
+	tr, err := market.NewTrace(mSmall, []market.Point{
+		{T: 0, Price: 0.01},
+		{T: 7200, Price: 0.50}, {T: 10800, Price: 0.01},
+		{T: 20000, Price: 0.50}, {T: 23000, Price: 0.01},
+	}, 40*sim.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := market.NewSet([]*market.Trace{tr}, map[market.ID]float64{mSmall: 0.06})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPersistentRequestValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProvider(eng, persistentSet(t), fixedParams())
+	if _, err := p.RequestSpotPersistent(market.ID{Region: "x", Type: "y"}, 0.06, Callbacks{}); err == nil {
+		t.Error("unknown market accepted")
+	}
+	if _, err := p.RequestSpotPersistent(mSmall, 0, Callbacks{}); err == nil {
+		t.Error("zero bid accepted")
+	}
+	if _, err := p.RequestSpotPersistent(mSmall, 1, Callbacks{}); err == nil {
+		t.Error("over-cap bid accepted")
+	}
+}
+
+// TestPersistentRelaunchesAfterRevocation: the request launches, is
+// revoked by the first spike, relaunches when the price dips, is revoked
+// again, and relaunches again.
+func TestPersistentRelaunchesAfterRevocation(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProvider(eng, persistentSet(t), fixedParams())
+	var running, terminated int
+	r, err := p.RequestSpotPersistent(mSmall, 0.06, Callbacks{
+		OnRunning:    func(*Instance) { running++ },
+		OnTerminated: func(*Instance, TerminationReason) { terminated++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(40 * sim.Hour)
+
+	if r.Launches() != 3 {
+		t.Fatalf("launches = %d, want 3 (initial + 2 relaunches)", r.Launches())
+	}
+	if running != 3 || terminated != 2 {
+		t.Fatalf("callbacks: running=%d terminated=%d", running, terminated)
+	}
+	cur := r.Current()
+	if cur == nil || cur.State() != Running {
+		t.Fatalf("request should end holding a live instance: %v", cur)
+	}
+	if !r.Open() {
+		t.Fatal("request closed itself")
+	}
+}
+
+// TestPersistentWaitsWhileAboveBid: opened during a spike, the request
+// stays idle until the price drops.
+func TestPersistentWaitsWhileAboveBid(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProvider(eng, persistentSet(t), fixedParams())
+	var launchedAt sim.Time = -1
+	eng.Schedule(8000, func() { // inside the first spike
+		_, err := p.RequestSpotPersistent(mSmall, 0.06, Callbacks{
+			OnRunning: func(*Instance) {
+				if launchedAt < 0 {
+					launchedAt = eng.Now()
+				}
+			},
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	eng.RunUntil(15 * sim.Hour)
+	// Price drops at 10800; the 240 s allocation makes it ~11040.
+	if launchedAt < 10800 || launchedAt > 11200 {
+		t.Fatalf("launched at %v, want shortly after 10800", launchedAt)
+	}
+}
+
+// TestPersistentCancel: cancellation closes the request but keeps the
+// running instance alive.
+func TestPersistentCancel(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProvider(eng, persistentSet(t), fixedParams())
+	r, err := p.RequestSpotPersistent(mSmall, 0.06, Callbacks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(3600)
+	inst := r.Current()
+	if inst == nil {
+		t.Fatal("no instance launched")
+	}
+	if p.OpenSpotRequests() != 1 {
+		t.Fatalf("open requests = %d", p.OpenSpotRequests())
+	}
+	p.CancelSpotRequest(r)
+	p.CancelSpotRequest(r) // idempotent
+	if r.Open() || p.OpenSpotRequests() != 0 {
+		t.Fatal("cancel did not close the request")
+	}
+	if inst.State() != Running {
+		t.Fatal("cancel terminated the running instance")
+	}
+	// After the instance is revoked, the cancelled request must NOT
+	// relaunch.
+	eng.RunUntil(40 * sim.Hour)
+	if r.Launches() != 1 {
+		t.Fatalf("cancelled request relaunched: %d", r.Launches())
+	}
+}
+
+// TestPersistentUserTerminationRelaunches: persistent semantics keep the
+// request open after the user terminates the fulfilled instance.
+func TestPersistentUserTerminationRelaunches(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewProvider(eng, persistentSet(t), fixedParams())
+	r, err := p.RequestSpotPersistent(mSmall, 0.06, Callbacks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(3600)
+	if err := p.Terminate(r.Current()); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(2 * sim.Hour)
+	if r.Launches() < 2 {
+		t.Fatalf("request did not relaunch after user termination: %d", r.Launches())
+	}
+}

@@ -1,0 +1,89 @@
+package cloud
+
+import (
+	"fmt"
+
+	"spothost/internal/market"
+)
+
+// VolumeID identifies a network-attached volume.
+type VolumeID int64
+
+// Volume models an EBS-like network storage volume. Volumes are
+// region-local: they survive instance termination and can be re-attached
+// to any instance in the same region ("the volume can simply be
+// re-attached to the new on-demand server"), which is what preserves disk
+// state — and checkpointed memory state — across spot revocations.
+type Volume struct {
+	id         VolumeID
+	region     market.Region
+	sizeGB     float64
+	attachedTo InstanceID // -1 when detached
+}
+
+// ID returns the volume identifier.
+func (v *Volume) ID() VolumeID { return v.id }
+
+// Region returns the region the volume lives in.
+func (v *Volume) Region() market.Region { return v.region }
+
+// SizeGB returns the volume size.
+func (v *Volume) SizeGB() float64 { return v.sizeGB }
+
+// Attached reports whether the volume is currently attached, and to which
+// instance.
+func (v *Volume) Attached() (InstanceID, bool) {
+	return v.attachedTo, v.attachedTo >= 0
+}
+
+// CreateVolume provisions a new detached volume in a region.
+func (p *Provider) CreateVolume(region market.Region, sizeGB float64) (*Volume, error) {
+	if sizeGB <= 0 {
+		return nil, fmt.Errorf("cloud: volume size must be positive, got %v", sizeGB)
+	}
+	v := &Volume{id: p.nextVolumeID, region: region, sizeGB: sizeGB, attachedTo: -1}
+	p.nextVolumeID++
+	p.volumes[v.id] = v
+	return v, nil
+}
+
+// AttachVolume attaches v to instance in after the attach latency; done
+// (optional) fires on completion. Attachment fails when the volume is
+// already attached, the instance is not alive, or the regions differ
+// (EBS volumes cannot cross regions — that constraint is why cross-region
+// migrations must copy disk state, Table 2).
+func (p *Provider) AttachVolume(v *Volume, in *Instance, done func()) error {
+	if v.attachedTo >= 0 {
+		return fmt.Errorf("cloud: volume %d already attached to instance %d", v.id, v.attachedTo)
+	}
+	if !in.Alive() {
+		return fmt.Errorf("cloud: cannot attach volume %d to %v", v.id, in)
+	}
+	if v.region != in.Region() {
+		return fmt.Errorf("cloud: volume %d in %s cannot attach across regions to %v",
+			v.id, v.region, in)
+	}
+	v.attachedTo = in.id
+	if done != nil {
+		p.eng.After(p.params.VolumeAttach, done)
+	}
+	return nil
+}
+
+// DetachVolume detaches v from whatever instance holds it. Detaching a
+// detached volume is a no-op.
+func (p *Provider) DetachVolume(v *Volume) {
+	v.attachedTo = -1
+}
+
+// DeleteVolume removes a volume. Attached volumes cannot be deleted.
+func (p *Provider) DeleteVolume(v *Volume) error {
+	if v.attachedTo >= 0 {
+		return fmt.Errorf("cloud: volume %d is attached; detach first", v.id)
+	}
+	delete(p.volumes, v.id)
+	return nil
+}
+
+// Volume returns a volume by ID, or nil.
+func (p *Provider) Volume(id VolumeID) *Volume { return p.volumes[id] }

@@ -1,0 +1,38 @@
+package econ_test
+
+import (
+	"fmt"
+	"log"
+
+	"spothost/internal/econ"
+	"spothost/internal/metrics"
+	"spothost/internal/sim"
+)
+
+// Example prices a month of spot hosting for a shop earning $360/hour:
+// the paper's savings survive 23 seconds of monthly downtime with room to
+// spare.
+func Example() {
+	shop := econ.RevenueModel{
+		RequestsPerSecond:  100,
+		RevenuePerRequest:  0.001, // $0.10/s = $360/hr
+		DegradedLossFactor: 0.25,
+	}
+	run := metrics.Report{
+		Horizon:         30 * sim.Day,
+		Cost:            8.20,  // what the proactive scheduler paid
+		BaselineCost:    43.20, // on-demand for the same month
+		DowntimeSeconds: 23,    // one revocation, lazily restored
+		DegradedSeconds: 120,
+	}
+	a, err := econ.Analyze(shop, run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("savings=$%.2f lost=$%.2f net=$%.2f worth-it=%v\n",
+		a.Savings, a.LostToDowntime+a.LostToDegradation, a.Net, a.WorthIt())
+	fmt.Printf("downtime headroom: %.0fx\n", a.HeadroomFactor)
+	// Output:
+	// savings=$35.00 lost=$5.30 net=$29.70 worth-it=true
+	// downtime headroom: 15x
+}

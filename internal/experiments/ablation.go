@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spothost/internal/market"
+	"spothost/internal/metrics"
+	"spothost/internal/sched"
+	"spothost/internal/vm"
+)
+
+// AblationPoint is one knob setting's outcome.
+type AblationPoint struct {
+	Value  float64
+	Report metrics.Report
+}
+
+// AblationResult sweeps the scheduler's design knobs one at a time,
+// quantifying the choices the paper fixes by fiat: the proactive bid
+// multiple (the paper uses the 4x cap), the Yank checkpoint bound, the
+// market-switch hysteresis, and the stability-aware bidding penalty (the
+// paper's future work).
+type AblationResult struct {
+	BidMultiple []AblationPoint
+	CkptBound   []AblationPoint
+	Hysteresis  []AblationPoint
+	Stability   []AblationPoint
+}
+
+// Ablations runs all four sweeps.
+func Ablations(opts Options) (AblationResult, error) {
+	opts = opts.normalize()
+	var res AblationResult
+	home := market.ID{Region: opts.Region, Type: "small"}
+
+	// 1) Proactive bid multiple: higher bids should suppress forced
+	// migrations at essentially unchanged cost (spot hours bill at the
+	// market price, not the bid).
+	for _, k := range []float64{1.5, 2, 3, 4} {
+		cfg, err := singleMarketConfig(opts, home, sched.Proactive, vm.CKPTLazyLive)
+		if err != nil {
+			return res, err
+		}
+		cfg.BidMultiple = k
+		r, err := runPolicy(opts, cfg)
+		if err != nil {
+			return res, err
+		}
+		res.BidMultiple = append(res.BidMultiple, AblationPoint{Value: k, Report: r})
+	}
+
+	// 2) Checkpoint bound tau: a looser bound means a longer final save
+	// and therefore longer forced-migration downtime.
+	for _, tau := range []float64{1, 3, 10, 30} {
+		cfg, err := singleMarketConfig(opts, home, sched.Proactive, vm.CKPTLazyLive)
+		if err != nil {
+			return res, err
+		}
+		cfg.VMParams.CheckpointBound = tau
+		r, err := runPolicy(opts, cfg)
+		if err != nil {
+			return res, err
+		}
+		res.CkptBound = append(res.CkptBound, AblationPoint{Value: tau, Report: r})
+	}
+
+	// 3) Hysteresis on a multi-market fleet: low values chase noise
+	// (migration churn), high values leave savings on the table.
+	for _, h := range []float64{0, 0.05, 0.15, 0.4} {
+		cfg, err := fleetConfig(opts, home, marketsIn(opts, opts.Region), FleetVMs)
+		if err != nil {
+			return res, err
+		}
+		cfg.Hysteresis = h
+		r, err := runPolicy(opts, cfg)
+		if err != nil {
+			return res, err
+		}
+		res.Hysteresis = append(res.Hysteresis, AblationPoint{Value: h, Report: r})
+	}
+
+	// 4) Stability penalty lambda on a volatile multi-region fleet (the
+	// paper's future work, Sec. 8): penalizing jumpy markets should trade
+	// a little cost for fewer migrations.
+	both := append(marketsIn(opts, "us-east-1b"), marketsIn(opts, opts.Region)...)
+	for _, lambda := range []float64{0, 0.5, 1, 2} {
+		cfg, err := fleetConfig(opts, home, both, FleetVMs)
+		if err != nil {
+			return res, err
+		}
+		cfg.StabilityPenalty = lambda
+		r, err := runPolicy(opts, cfg)
+		if err != nil {
+			return res, err
+		}
+		res.Stability = append(res.Stability, AblationPoint{Value: lambda, Report: r})
+	}
+	return res, nil
+}
+
+// Render prints the four sweeps.
+func (r AblationResult) Render() string {
+	section := func(title, knob string, pts []AblationPoint) string {
+		var rows [][]string
+		for _, p := range pts {
+			rows = append(rows, []string{
+				fmt.Sprintf("%g", p.Value),
+				pct(p.Report.NormalizedCost(), 1),
+				pct(p.Report.Unavailability(), 4),
+				fmt.Sprintf("%.4f", p.Report.ForcedPerHour()),
+				fmt.Sprintf("%d", p.Report.Migrations.Total()),
+			})
+		}
+		return renderTable(title,
+			[]string{knob, "cost", "unavail", "forced/hr", "migrations"}, rows)
+	}
+	return section("Ablation: proactive bid multiple k (paper fixes k=4)", "k", r.BidMultiple) +
+		"\n" + section("Ablation: Yank checkpoint bound tau (s)", "tau", r.CkptBound) +
+		"\n" + section("Ablation: market-switch hysteresis (multi-market fleet)", "hysteresis", r.Hysteresis) +
+		"\n" + section("Ablation: stability penalty lambda (multi-region fleet, future work)", "lambda", r.Stability)
+}

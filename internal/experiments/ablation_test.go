@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	r, err := Ablations(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.BidMultiple) != 4 || len(r.CkptBound) != 4 ||
+		len(r.Hysteresis) != 4 || len(r.Stability) != 4 {
+		t.Fatalf("sweep sizes: %d/%d/%d/%d",
+			len(r.BidMultiple), len(r.CkptBound), len(r.Hysteresis), len(r.Stability))
+	}
+
+	// Bid multiple: k=4 should suffer no more forced migrations than
+	// k=1.5, at similar cost.
+	low, high := r.BidMultiple[0].Report, r.BidMultiple[len(r.BidMultiple)-1].Report
+	if high.ForcedPerHour() > low.ForcedPerHour() {
+		t.Errorf("higher bid increased forced rate: %.4f vs %.4f",
+			high.ForcedPerHour(), low.ForcedPerHour())
+	}
+	if high.NormalizedCost() > low.NormalizedCost()*1.25 {
+		t.Errorf("higher bid should not cost much more: %.3f vs %.3f",
+			high.NormalizedCost(), low.NormalizedCost())
+	}
+
+	// Checkpoint bound: tau=30 must not *reduce* downtime vs tau=1.
+	tight, loose := r.CkptBound[0].Report, r.CkptBound[len(r.CkptBound)-1].Report
+	if loose.DowntimeSeconds < tight.DowntimeSeconds*0.9 {
+		t.Errorf("loose bound reduced downtime: %.1f vs %.1f",
+			loose.DowntimeSeconds, tight.DowntimeSeconds)
+	}
+
+	// Hysteresis: zero hysteresis churns at least as much as 0.4.
+	churny, calm := r.Hysteresis[0].Report, r.Hysteresis[len(r.Hysteresis)-1].Report
+	if churny.Migrations.Total() < calm.Migrations.Total() {
+		t.Errorf("hysteresis sweep inverted: %d vs %d migrations",
+			churny.Migrations.Total(), calm.Migrations.Total())
+	}
+
+	// Stability: lambda=2 should not migrate more than lambda=0.
+	greedy, stable := r.Stability[0].Report, r.Stability[len(r.Stability)-1].Report
+	if stable.Migrations.Total() > greedy.Migrations.Total() {
+		t.Errorf("stability penalty increased migrations: %d vs %d",
+			stable.Migrations.Total(), greedy.Migrations.Total())
+	}
+
+	out := r.Render()
+	for _, want := range []string{"bid multiple", "checkpoint bound", "hysteresis", "stability penalty"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spothost/internal/market"
+	"spothost/internal/metrics"
+	"spothost/internal/sched"
+	"spothost/internal/vm"
+)
+
+// runPolicy executes one scheduler configuration across all option seeds
+// and returns the averaged report.
+func runPolicy(opts Options, cfg sched.Config) (metrics.Report, error) {
+	rs, err := sched.RunSeeds(opts.Market, opts.Cloud, cfg, opts.Horizon, opts.Seeds)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	return metrics.Average(rs), nil
+}
+
+// singleMarketConfig builds the Sec. 4.2 configuration: one VM sized to
+// the market's server type, hosted in exactly that spot market.
+func singleMarketConfig(opts Options, home market.ID, b sched.Bidding, mech vm.Mechanism) (sched.Config, error) {
+	cfg, err := sched.DefaultConfig(home, opts.Market.Types)
+	if err != nil {
+		return sched.Config{}, err
+	}
+	cfg.Bidding = b
+	cfg.Mechanism = mech
+	cfg.VMParams = opts.VM
+	return cfg, nil
+}
+
+// Figure6Row is one instance-size column group of Fig. 6.
+type Figure6Row struct {
+	Type     market.InstanceType
+	Reactive metrics.Report
+	Proact   metrics.Report
+}
+
+// Figure6Result reproduces Fig. 6(a-d): proactive vs reactive bidding in a
+// single market (us-east), per instance size.
+type Figure6Result struct {
+	Region market.Region
+	Rows   []Figure6Row
+}
+
+// Figure6 runs both policies over every instance size.
+func Figure6(opts Options) (Figure6Result, error) {
+	opts = opts.normalize()
+	res := Figure6Result{Region: opts.Region}
+	for _, ts := range opts.Market.Types {
+		home := market.ID{Region: opts.Region, Type: ts.Name}
+		row := Figure6Row{Type: ts.Name}
+		for _, b := range []sched.Bidding{sched.Reactive, sched.Proactive} {
+			cfg, err := singleMarketConfig(opts, home, b, vm.CKPTLazy)
+			if err != nil {
+				return res, err
+			}
+			r, err := runPolicy(opts, cfg)
+			if err != nil {
+				return res, err
+			}
+			if b == sched.Reactive {
+				row.Reactive = r
+			} else {
+				row.Proact = r
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the four Fig. 6 panels as one table.
+func (r Figure6Result) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			string(row.Type),
+			pct(row.Reactive.NormalizedCost(), 1), pct(row.Proact.NormalizedCost(), 1),
+			pct(row.Reactive.Unavailability(), 4), pct(row.Proact.Unavailability(), 4),
+			fmt.Sprintf("%.4f", row.Reactive.ForcedPerHour()), fmt.Sprintf("%.4f", row.Proact.ForcedPerHour()),
+			fmt.Sprintf("%.4f", row.Reactive.PlannedReversePerHour()), fmt.Sprintf("%.4f", row.Proact.PlannedReversePerHour()),
+		})
+	}
+	return renderTable(
+		fmt.Sprintf("Figure 6: proactive vs reactive bidding (single market, %s, CKPT+lazy restore)", r.Region),
+		[]string{"market",
+			"cost react", "cost proact",
+			"unavail react", "unavail proact",
+			"forced/hr react", "forced/hr proact",
+			"plan+rev/hr react", "plan+rev/hr proact"},
+		rows)
+}
+
+// Figure7Cell is one mechanism's unavailability under one parameter set.
+type Figure7Cell struct {
+	Mechanism vm.Mechanism
+	Typical   metrics.Report
+	Pessim    metrics.Report
+}
+
+// Figure7Result reproduces Fig. 7: the four migration mechanism
+// combinations under typical and pessimistic constants, proactive bidding,
+// small market.
+type Figure7Result struct {
+	Region market.Region
+	Cells  []Figure7Cell
+}
+
+// Figure7 runs the mechanism comparison.
+func Figure7(opts Options) (Figure7Result, error) {
+	opts = opts.normalize()
+	home := market.ID{Region: opts.Region, Type: "small"}
+	res := Figure7Result{Region: opts.Region}
+	for _, mech := range vm.Mechanisms() {
+		cell := Figure7Cell{Mechanism: mech}
+		for _, pess := range []bool{false, true} {
+			o := opts
+			if pess {
+				o.VM = vm.PessimisticParams()
+			}
+			cfg, err := singleMarketConfig(o, home, sched.Proactive, mech)
+			if err != nil {
+				return res, err
+			}
+			r, err := runPolicy(o, cfg)
+			if err != nil {
+				return res, err
+			}
+			if pess {
+				cell.Pessim = r
+			} else {
+				cell.Typical = r
+			}
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// Render prints Fig. 7.
+func (r Figure7Result) Render() string {
+	var rows [][]string
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Mechanism.String(),
+			pct(c.Typical.Unavailability(), 4),
+			pct(c.Pessim.Unavailability(), 4),
+			fmt.Sprintf("%.0f", c.Typical.DowntimeSeconds),
+			fmt.Sprintf("%d", c.Typical.DownEpisodes),
+		})
+	}
+	return renderTable(
+		fmt.Sprintf("Figure 7: migration mechanisms (proactive, small, %s)", r.Region),
+		[]string{"mechanism", "unavail typical", "unavail pessimistic", "downtime s (typ)", "episodes (typ)"},
+		rows)
+}
+
+// Figure11Row is one market size of Fig. 11.
+type Figure11Row struct {
+	Type     market.InstanceType
+	Proact   metrics.Report
+	PureSpot metrics.Report
+}
+
+// Figure11Result reproduces Fig. 11: proactive (migration-based) hosting
+// versus using spot instances alone.
+type Figure11Result struct {
+	Region market.Region
+	Rows   []Figure11Row
+}
+
+// Figure11 runs the comparison per instance size.
+func Figure11(opts Options) (Figure11Result, error) {
+	opts = opts.normalize()
+	res := Figure11Result{Region: opts.Region}
+	for _, ts := range opts.Market.Types {
+		home := market.ID{Region: opts.Region, Type: ts.Name}
+		row := Figure11Row{Type: ts.Name}
+		for _, b := range []sched.Bidding{sched.Proactive, sched.PureSpot} {
+			cfg, err := singleMarketConfig(opts, home, b, vm.CKPTLazyLive)
+			if err != nil {
+				return res, err
+			}
+			r, err := runPolicy(opts, cfg)
+			if err != nil {
+				return res, err
+			}
+			if b == sched.Proactive {
+				row.Proact = r
+			} else {
+				row.PureSpot = r
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints Fig. 11.
+func (r Figure11Result) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			string(row.Type),
+			pct(row.Proact.NormalizedCost(), 1), pct(row.PureSpot.NormalizedCost(), 1),
+			pct(row.Proact.Unavailability(), 4), pct(row.PureSpot.Unavailability(), 3),
+		})
+	}
+	return renderTable(
+		fmt.Sprintf("Figure 11: proactive vs pure spot (%s)", r.Region),
+		[]string{"market", "cost proact", "cost pure-spot", "unavail proact", "unavail pure-spot"},
+		rows)
+}
+
+// Table3Result reproduces Table 3, the qualitative cost/availability
+// matrix, derived from measured Fig. 6/11 data.
+type Table3Result struct {
+	OnDemandCost    float64 // normalized (1.0)
+	OnDemandAvail   float64
+	SpotCost        float64
+	SpotAvail       float64
+	MigrationCost   float64
+	MigrationAvail  float64
+	AvailThreshold  float64 // availability counted "high" above this
+	CostThreshold   float64 // normalized cost counted "low" below this
+	MigrationIsBest bool
+}
+
+// Table3 derives the matrix from single-market runs on the small market.
+func Table3(opts Options) (Table3Result, error) {
+	opts = opts.normalize()
+	home := market.ID{Region: opts.Region, Type: "small"}
+
+	run := func(b sched.Bidding) (metrics.Report, error) {
+		cfg, err := singleMarketConfig(opts, home, b, vm.CKPTLazyLive)
+		if err != nil {
+			return metrics.Report{}, err
+		}
+		return runPolicy(opts, cfg)
+	}
+	od, err := run(sched.OnDemandOnly)
+	if err != nil {
+		return Table3Result{}, err
+	}
+	pure, err := run(sched.PureSpot)
+	if err != nil {
+		return Table3Result{}, err
+	}
+	pro, err := run(sched.Proactive)
+	if err != nil {
+		return Table3Result{}, err
+	}
+	res := Table3Result{
+		OnDemandCost:   od.NormalizedCost(),
+		OnDemandAvail:  1 - od.Unavailability(),
+		SpotCost:       pure.NormalizedCost(),
+		SpotAvail:      1 - pure.Unavailability(),
+		MigrationCost:  pro.NormalizedCost(),
+		MigrationAvail: 1 - pro.Unavailability(),
+		AvailThreshold: 0.999,
+		CostThreshold:  0.5,
+	}
+	res.MigrationIsBest = res.MigrationCost < res.CostThreshold &&
+		res.MigrationAvail > res.AvailThreshold
+	return res, nil
+}
+
+// Render prints Table 3 with the qualitative labels backed by numbers.
+func (r Table3Result) Render() string {
+	label := func(cost, avail float64) (string, string) {
+		c, a := "High", "Low"
+		if cost < r.CostThreshold {
+			c = "Low"
+		}
+		if avail > r.AvailThreshold {
+			a = "High"
+		}
+		return c, a
+	}
+	mk := func(name string, cost, avail float64) []string {
+		c, a := label(cost, avail)
+		return []string{name,
+			fmt.Sprintf("%s (%.0f%%)", c, 100*cost),
+			fmt.Sprintf("%s (%.4f%%)", a, 100*avail)}
+	}
+	rows := [][]string{
+		mk("Only on-demand", r.OnDemandCost, r.OnDemandAvail),
+		mk("Only spot", r.SpotCost, r.SpotAvail),
+		mk("Using migration mechanisms", r.MigrationCost, r.MigrationAvail),
+	}
+	return renderTable("Table 3: cost and availability by hosting strategy",
+		[]string{"strategy", "cost", "availability"}, rows)
+}

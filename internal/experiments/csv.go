@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSVExporter is implemented by experiment results that can emit their
+// series as CSV for external plotting; cmd/paperbench's -csv flag writes
+// one file per experiment.
+type CSVExporter interface {
+	CSV() string
+}
+
+// csvTable renders rows as RFC-4180-ish CSV (fields here never contain
+// commas or quotes).
+func csvTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f(v float64) string { return fmt.Sprintf("%g", v) }
+
+// CSV emits Fig. 6's four panels as one table.
+func (r Figure6Result) CSV() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			string(row.Type),
+			f(row.Reactive.NormalizedCost()), f(row.Proact.NormalizedCost()),
+			f(row.Reactive.Unavailability()), f(row.Proact.Unavailability()),
+			f(row.Reactive.ForcedPerHour()), f(row.Proact.ForcedPerHour()),
+			f(row.Reactive.PlannedReversePerHour()), f(row.Proact.PlannedReversePerHour()),
+		})
+	}
+	return csvTable([]string{"market",
+		"cost_reactive", "cost_proactive",
+		"unavail_reactive", "unavail_proactive",
+		"forced_hr_reactive", "forced_hr_proactive",
+		"voluntary_hr_reactive", "voluntary_hr_proactive"}, rows)
+}
+
+// CSV emits Fig. 7's bars.
+func (r Figure7Result) CSV() string {
+	var rows [][]string
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Mechanism.String(),
+			f(c.Typical.Unavailability()),
+			f(c.Pessim.Unavailability()),
+		})
+	}
+	return csvTable([]string{"mechanism", "unavail_typical", "unavail_pessimistic"}, rows)
+}
+
+// CSV emits Fig. 8's per-region series.
+func (r Figure8Result) CSV() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			string(row.Region),
+			f(row.AvgSingle.NormalizedCost()), f(row.Multi.NormalizedCost()),
+			f(row.Reduction), f(row.Correlation),
+			f(row.AvgSingle.Unavailability()), f(row.Multi.Unavailability()),
+		})
+	}
+	return csvTable([]string{"region", "cost_single_avg", "cost_multi",
+		"reduction", "intra_correlation", "unavail_single", "unavail_multi"}, rows)
+}
+
+// CSV emits Fig. 9's per-pair series.
+func (r Figure9Result) CSV() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			string(row.A), string(row.B),
+			f(row.AvgSingle.NormalizedCost()), f(row.Multi.NormalizedCost()),
+			f(row.Reduction), f(row.Correlation),
+			f(row.AvgSingle.Unavailability()), f(row.Multi.Unavailability()),
+		})
+	}
+	return csvTable([]string{"region_a", "region_b", "cost_single_avg", "cost_multi",
+		"reduction", "cross_correlation", "unavail_single", "unavail_multi"}, rows)
+}
+
+// CSV emits Fig. 10's grid.
+func (r Figure10Result) CSV() string {
+	header := []string{"region"}
+	for _, ty := range r.Types {
+		header = append(header, "std_"+string(ty))
+	}
+	var rows [][]string
+	for _, reg := range r.Regions {
+		row := []string{string(reg)}
+		for _, ty := range r.Types {
+			row = append(row, f(r.StdDev[reg][ty]))
+		}
+		rows = append(rows, row)
+	}
+	return csvTable(header, rows)
+}
+
+// CSV emits Fig. 11's bars.
+func (r Figure11Result) CSV() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			string(row.Type),
+			f(row.Proact.NormalizedCost()), f(row.PureSpot.NormalizedCost()),
+			f(row.Proact.Unavailability()), f(row.PureSpot.Unavailability()),
+		})
+	}
+	return csvTable([]string{"market", "cost_proactive", "cost_pure_spot",
+		"unavail_proactive", "unavail_pure_spot"}, rows)
+}
+
+// CSV emits both Fig. 12 panels.
+func (r Figure12Result) CSV() string {
+	var rows [][]string
+	emit := func(panel string, pts []Figure12Point) {
+		for _, p := range pts {
+			rows = append(rows, []string{
+				panel, fmt.Sprintf("%d", p.EBs), f(p.NativeMs), f(p.NestedMs),
+			})
+		}
+	}
+	emit("with_images", r.WithImages)
+	emit("no_images", r.NoImages)
+	return csvTable([]string{"panel", "ebs", "native_ms", "nested_ms"}, rows)
+}
+
+// CSV emits the four ablation sweeps, long-format.
+func (r AblationResult) CSV() string {
+	var rows [][]string
+	emit := func(knob string, pts []AblationPoint) {
+		for _, p := range pts {
+			rows = append(rows, []string{
+				knob, f(p.Value),
+				f(p.Report.NormalizedCost()), f(p.Report.Unavailability()),
+				f(p.Report.ForcedPerHour()), fmt.Sprintf("%d", p.Report.Migrations.Total()),
+			})
+		}
+	}
+	emit("bid_multiple", r.BidMultiple)
+	emit("ckpt_bound", r.CkptBound)
+	emit("hysteresis", r.Hysteresis)
+	emit("stability_lambda", r.Stability)
+	return csvTable([]string{"knob", "value", "cost", "unavail", "forced_hr", "migrations"}, rows)
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCSVExports checks every plottable experiment emits well-formed CSV:
+// a header plus one row per series point, uniform column counts.
+func TestCSVExports(t *testing.T) {
+	opts := quick()
+
+	check := func(name, csv string, wantRows int) {
+		t.Helper()
+		lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+		if len(lines) != wantRows+1 {
+			t.Fatalf("%s: %d lines, want header+%d", name, len(lines), wantRows)
+		}
+		cols := strings.Count(lines[0], ",")
+		for i, l := range lines {
+			if strings.Count(l, ",") != cols {
+				t.Fatalf("%s: ragged row %d: %q", name, i, l)
+			}
+			if strings.TrimSpace(l) == "" {
+				t.Fatalf("%s: blank row %d", name, i)
+			}
+		}
+	}
+
+	f6, err := Figure6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("figure6", f6.CSV(), len(f6.Rows))
+
+	f7, err := Figure7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("figure7", f7.CSV(), len(f7.Cells))
+
+	f8, err := Figure8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("figure8", f8.CSV(), len(f8.Rows))
+
+	f9, err := Figure9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("figure9", f9.CSV(), len(f9.Rows))
+
+	f10, err := Figure10(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("figure10", f10.CSV(), len(f10.Regions))
+
+	f11, err := Figure11(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("figure11", f11.CSV(), len(f11.Rows))
+
+	f12, err := Figure12(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("figure12", f12.CSV(), len(f12.WithImages)+len(f12.NoImages))
+
+	ab, err := Ablations(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("ablations", ab.CSV(), len(ab.BidMultiple)+len(ab.CkptBound)+len(ab.Hysteresis)+len(ab.Stability))
+
+	// The exporters are discoverable through the interface.
+	for _, r := range []any{f6, f7, f8, f9, f10, f11, f12, ab} {
+		if _, ok := r.(CSVExporter); !ok {
+			t.Fatalf("%T does not implement CSVExporter", r)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (Sections 4-6). Each experiment has one entry point returning
+// a typed result with a Render method that prints the same rows/series the
+// paper reports; cmd/paperbench runs them all, and bench_test.go exposes
+// one testing.B target per table/figure.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"spothost/internal/cloud"
+	"spothost/internal/market"
+	"spothost/internal/sim"
+	"spothost/internal/vm"
+)
+
+// Options configures an experiment run. Zero fields are filled with
+// defaults by normalize.
+type Options struct {
+	// Seeds drives repeated runs over independently generated synthetic
+	// universes; reported numbers are cross-seed means.
+	Seeds []int64
+	// Horizon is the hosting window (the paper simulates over month-long
+	// traces).
+	Horizon sim.Duration
+	// Market is the synthetic-universe configuration (Seed overridden per
+	// run).
+	Market market.Config
+	// Cloud is the provider parameterization (Table 1 latencies etc.).
+	Cloud cloud.Params
+	// VM holds the migration-mechanism constants (Table 2).
+	VM vm.Params
+	// Region is the default region for single-region figures.
+	Region market.Region
+}
+
+// Defaults returns the full-fidelity options used by cmd/paperbench:
+// five seeds over 30-day universes.
+func Defaults() Options {
+	return Options{
+		Seeds:   []int64{11, 22, 33, 44, 55},
+		Horizon: 30 * sim.Day,
+		Market:  market.DefaultConfig(0),
+		Cloud:   cloud.DefaultParams(0),
+		VM:      vm.DefaultParams(),
+		Region:  "us-east-1a",
+	}
+}
+
+// Quick returns reduced options (two seeds, 10-day universes) for tests
+// and smoke runs.
+func Quick() Options {
+	o := Defaults()
+	o.Seeds = []int64{7, 13}
+	o.Horizon = 10 * sim.Day
+	o.Market.Horizon = 10 * sim.Day
+	return o
+}
+
+// normalize fills zero-valued fields with defaults.
+func (o Options) normalize() Options {
+	d := Defaults()
+	if len(o.Seeds) == 0 {
+		o.Seeds = d.Seeds
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = d.Horizon
+	}
+	if len(o.Market.Regions) == 0 {
+		o.Market = d.Market
+		o.Market.Horizon = o.Horizon
+	}
+	if o.Market.Horizon < o.Horizon {
+		o.Horizon = o.Market.Horizon
+	}
+	if o.Cloud.GracePeriod == 0 {
+		o.Cloud = d.Cloud
+	}
+	if o.VM.CheckpointWriteMBps == 0 {
+		o.VM = d.VM
+	}
+	if o.Region == "" {
+		o.Region = d.Region
+	}
+	return o
+}
+
+// renderTable formats a fixed-width text table.
+func renderTable(title string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage string.
+func pct(f float64, decimals int) string {
+	return fmt.Sprintf("%.*f%%", decimals, 100*f)
+}

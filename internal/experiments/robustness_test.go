@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRobustnessClaims(t *testing.T) {
+	r, err := Robustness(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var pure, pro RobustnessRow
+	for _, row := range r.Rows {
+		switch row.Policy.String() {
+		case "pure-spot":
+			pure = row
+		case "proactive":
+			pro = row
+		}
+		// Banded regime: zero downtime for every policy, cost inside the
+		// reserve band.
+		if row.Banded.Unavailability() != 0 {
+			t.Errorf("%v: banded unavailability %.5f, want 0", row.Policy, row.Banded.Unavailability())
+		}
+		if nc := row.Banded.NormalizedCost(); nc < 0.35 || nc > 0.65 {
+			t.Errorf("%v: banded cost %.3f outside the reserve band", row.Policy, nc)
+		}
+	}
+	// Spiky regime restores the pure-spot/proactive separation.
+	if pure.Spiky.Unavailability() <= pro.Spiky.Unavailability() {
+		t.Errorf("spiky regime lost the separation: pure %.5f vs proactive %.5f",
+			pure.Spiky.Unavailability(), pro.Spiky.Unavailability())
+	}
+	// Default regime is the cheapest (its base ratio is far lower than
+	// the banded floor).
+	if pro.Baseline.NormalizedCost() >= pro.Banded.NormalizedCost() {
+		t.Errorf("calibrated regime (%.3f) should undercut banded (%.3f)",
+			pro.Baseline.NormalizedCost(), pro.Banded.NormalizedCost())
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Robustness") {
+		t.Fatal("render missing title")
+	}
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "policy,cost_banded") || strings.Count(csv, "\n") != 4 {
+		t.Fatalf("csv shape: %q", csv)
+	}
+}

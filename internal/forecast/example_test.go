@@ -1,0 +1,45 @@
+package forecast_test
+
+import (
+	"fmt"
+
+	"spothost/internal/forecast"
+)
+
+// ExampleDecayingMoments tracks a spot price online and shows how a
+// stability-aware bidder would rank a jumpy market against a steady one.
+func ExampleDecayingMoments() {
+	steady := forecast.NewDecayingMoments(3600)
+	jumpy := forecast.NewDecayingMoments(3600)
+	for ts := 0.0; ts < 36000; ts += 600 {
+		steady.Observe(ts, 0.024)
+		price := 0.004
+		if int(ts/3600)%2 == 1 {
+			price = 0.036 // alternates every hour around the same mean
+		}
+		jumpy.Observe(ts, price)
+	}
+	at := 36000.0
+	lambda := 1.0
+	steadyScore := forecast.Score(steady.Mean(at), steady.Std(at), lambda)
+	jumpyScore := forecast.Score(jumpy.Mean(at), jumpy.Std(at), lambda)
+	fmt.Printf("steady beats jumpy despite the higher mean: %v\n", steadyScore < jumpyScore)
+	// Output:
+	// steady beats jumpy despite the higher mean: true
+}
+
+// ExampleFitAR1 fits a mean-reverting model to a sampled price series and
+// forecasts its return to the mean.
+func ExampleFitAR1() {
+	series := []float64{10, 10.5, 10.2, 10.4, 9.9, 10.1, 10.0, 10.3, 9.8, 10.2,
+		10.0, 9.9, 10.1, 10.2, 10.0, 9.8, 10.1, 10.0, 10.2, 9.9}
+	m, err := forecast.FitAR1(series)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("mean-reverting=%v forecast-approaches-mu=%v\n",
+		m.Phi < 1, m.Forecast(12, 50) < 12)
+	// Output:
+	// mean-reverting=true forecast-approaches-mu=true
+}

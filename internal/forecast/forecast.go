@@ -1,0 +1,262 @@
+// Package forecast provides online spot-price statistics and simple
+// predictive models used by stability-aware bidding — the extension the
+// paper names as future work ("bidding strategies that take spot price
+// stability into account"): decaying moments over piecewise-constant price
+// signals, trailing-window trace statistics, excursion (spike) rates and
+// an AR(1) fit for mean-reverting log prices.
+package forecast
+
+import (
+	"errors"
+	"math"
+
+	"spothost/internal/market"
+	"spothost/internal/sim"
+)
+
+// DecayingMoments tracks the exponentially-decayed mean and variance of a
+// piecewise-constant signal (such as a spot price) in O(1) per change.
+// Each observation states that the signal held value v since the previous
+// observation; history is discounted with the configured half-life, so
+// recent behaviour dominates. The zero value is not usable; construct with
+// NewDecayingMoments.
+type DecayingMoments struct {
+	tau    float64 // decay time constant (halflife / ln 2)
+	primed bool
+	lastT  sim.Time
+	lastV  float64
+	w      float64 // total decayed weight
+	m1     float64 // decayed sum of v
+	m2     float64 // decayed sum of v^2
+}
+
+// NewDecayingMoments returns a tracker whose memory halves every halflife
+// seconds. Panics on a non-positive half-life (always a configuration
+// bug).
+func NewDecayingMoments(halflife sim.Duration) *DecayingMoments {
+	if halflife <= 0 {
+		panic("forecast: non-positive halflife")
+	}
+	return &DecayingMoments{tau: float64(halflife) / math.Ln2}
+}
+
+// Observe records that the signal changed to value v at time t (the
+// previous value held during [lastT, t)). Out-of-order observations are
+// ignored.
+func (dm *DecayingMoments) Observe(t sim.Time, v float64) {
+	if !dm.primed {
+		dm.primed = true
+		dm.lastT, dm.lastV = t, v
+		return
+	}
+	if t < dm.lastT {
+		return
+	}
+	d := t - dm.lastT
+	if d > 0 {
+		decay := math.Exp(-d / dm.tau)
+		segW := dm.tau * (1 - decay)
+		dm.w = dm.w*decay + segW
+		dm.m1 = dm.m1*decay + segW*dm.lastV
+		dm.m2 = dm.m2*decay + segW*dm.lastV*dm.lastV
+	}
+	dm.lastT, dm.lastV = t, v
+}
+
+// advance returns the moments as of time t (crediting the current value
+// for [lastT, t)) without mutating the tracker.
+func (dm *DecayingMoments) advance(t sim.Time) (w, m1, m2 float64) {
+	w, m1, m2 = dm.w, dm.m1, dm.m2
+	if !dm.primed || t <= dm.lastT {
+		return
+	}
+	d := t - dm.lastT
+	decay := math.Exp(-d / dm.tau)
+	segW := dm.tau * (1 - decay)
+	w = w*decay + segW
+	m1 = m1*decay + segW*dm.lastV
+	m2 = m2*decay + segW*dm.lastV*dm.lastV
+	return
+}
+
+// Mean returns the decayed mean as of time t. Before any observation it
+// returns 0.
+func (dm *DecayingMoments) Mean(t sim.Time) float64 {
+	w, m1, _ := dm.advance(t)
+	if w == 0 {
+		if dm.primed {
+			return dm.lastV
+		}
+		return 0
+	}
+	return m1 / w
+}
+
+// Std returns the decayed standard deviation as of time t.
+func (dm *DecayingMoments) Std(t sim.Time) float64 {
+	w, m1, m2 := dm.advance(t)
+	if w == 0 {
+		return 0
+	}
+	mean := m1 / w
+	v := m2/w - mean*mean
+	if v < 0 {
+		v = 0 // numerical floor
+	}
+	return math.Sqrt(v)
+}
+
+// Primed reports whether at least one observation has been recorded.
+func (dm *DecayingMoments) Primed() bool { return dm.primed }
+
+// TrailingStd returns the sampled standard deviation of a trace over the
+// window (t-window, t], using the given sampling step. It looks only at
+// the past, so it is a legitimate online statistic.
+func TrailingStd(tr *market.Trace, t sim.Time, window, step sim.Duration) float64 {
+	if step <= 0 || window <= 0 {
+		return 0
+	}
+	start := t - window
+	if start < tr.Start() {
+		start = tr.Start()
+	}
+	var n int
+	var mean, m2 float64
+	for s := start; s <= t; s += step {
+		x := tr.PriceAt(s)
+		n++
+		d := x - mean
+		mean += d / float64(n)
+		m2 += d * (x - mean)
+	}
+	if n < 2 {
+		return 0
+	}
+	return math.Sqrt(m2 / float64(n-1))
+}
+
+// TrailingMean returns the time-weighted mean of a trace over the window
+// (t-window, t].
+func TrailingMean(tr *market.Trace, t sim.Time, window sim.Duration) float64 {
+	start := t - window
+	if start < tr.Start() {
+		start = tr.Start()
+	}
+	if t <= start {
+		return tr.PriceAt(t)
+	}
+	return tr.TimeWeightedMean(start, t)
+}
+
+// ExcursionRate returns how many upward crossings of the threshold the
+// trace made per day over the trailing window — an empirical spike-hazard
+// estimate.
+func ExcursionRate(tr *market.Trace, t sim.Time, window sim.Duration, threshold float64) float64 {
+	start := t - window
+	if start < tr.Start() {
+		start = tr.Start()
+	}
+	if t <= start {
+		return 0
+	}
+	crossings := 0
+	prev := tr.PriceAt(start)
+	cur := start
+	for {
+		nt, np, ok := tr.NextChangeAfter(cur)
+		if !ok || nt > t {
+			break
+		}
+		if prev <= threshold && np > threshold {
+			crossings++
+		}
+		prev, cur = np, nt
+	}
+	return float64(crossings) / (float64(t-start) / sim.Day)
+}
+
+// AR1 is a first-order autoregressive model x_t = Mu + Phi*(x_{t-1} - Mu)
+// + eps, eps ~ N(0, Sigma^2), fitted to a uniformly sampled series.
+type AR1 struct {
+	Mu    float64
+	Phi   float64
+	Sigma float64
+}
+
+// ErrShortSeries is returned when there are too few points to fit.
+var ErrShortSeries = errors.New("forecast: series too short for AR(1) fit")
+
+// FitAR1 estimates an AR(1) model from a sampled series by least squares.
+func FitAR1(xs []float64) (AR1, error) {
+	n := len(xs)
+	if n < 3 {
+		return AR1{}, ErrShortSeries
+	}
+	// Regress x_t on x_{t-1}.
+	var sx, sy, sxx, sxy float64
+	m := float64(n - 1)
+	for i := 1; i < n; i++ {
+		x, y := xs[i-1], xs[i]
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := sxx - sx*sx/m
+	if den == 0 {
+		// Constant series: perfectly persistent, no noise.
+		return AR1{Mu: xs[0], Phi: 1, Sigma: 0}, nil
+	}
+	phi := (sxy - sx*sy/m) / den
+	alpha := (sy - phi*sx) / m
+	mu := alpha
+	if phi < 1 {
+		mu = alpha / (1 - phi)
+	}
+	// Residual standard deviation.
+	var ss float64
+	for i := 1; i < n; i++ {
+		r := xs[i] - (alpha + phi*xs[i-1])
+		ss += r * r
+	}
+	return AR1{Mu: mu, Phi: phi, Sigma: math.Sqrt(ss / m)}, nil
+}
+
+// Forecast returns the h-step-ahead conditional mean given the current
+// value x.
+func (m AR1) Forecast(x float64, h int) float64 {
+	if h <= 0 {
+		return x
+	}
+	p := math.Pow(m.Phi, float64(h))
+	return m.Mu + p*(x-m.Mu)
+}
+
+// ForecastStd returns the h-step-ahead conditional standard deviation.
+func (m AR1) ForecastStd(h int) float64 {
+	if h <= 0 {
+		return 0
+	}
+	phi2 := m.Phi * m.Phi
+	if phi2 >= 1 {
+		return m.Sigma * math.Sqrt(float64(h))
+	}
+	return m.Sigma * math.Sqrt((1-math.Pow(phi2, float64(h)))/(1-phi2))
+}
+
+// StationaryStd returns the model's long-run standard deviation (infinite
+// horizon), or +Inf for non-stationary fits.
+func (m AR1) StationaryStd() float64 {
+	phi2 := m.Phi * m.Phi
+	if phi2 >= 1 {
+		return math.Inf(1)
+	}
+	return m.Sigma / math.Sqrt(1-phi2)
+}
+
+// Score ranks a market for stability-aware bidding: expected hourly cost
+// plus lambda times its volatility. Lower is better. With lambda = 0 this
+// degenerates to the paper's greedy cheapest-market rule.
+func Score(mean, std, lambda float64) float64 {
+	return mean + lambda*std
+}

@@ -1,0 +1,282 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spothost/internal/market"
+	"spothost/internal/sim"
+)
+
+func TestDecayingMomentsConstantSignal(t *testing.T) {
+	dm := NewDecayingMoments(3600)
+	dm.Observe(0, 5)
+	dm.Observe(1000, 5)
+	dm.Observe(5000, 5)
+	if got := dm.Mean(6000); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	if got := dm.Std(6000); got > 1e-6 { // floating-point floor
+		t.Fatalf("std of constant = %v", got)
+	}
+}
+
+func TestDecayingMomentsStep(t *testing.T) {
+	// Signal 0 for a long time, then 10: with a short half-life the mean
+	// converges toward 10 quickly.
+	dm := NewDecayingMoments(60)
+	dm.Observe(0, 0)
+	dm.Observe(10000, 10) // 0 held for 10000 s
+	if got := dm.Mean(10000); got > 0.01 {
+		t.Fatalf("mean right at the step = %v, want ~0", got)
+	}
+	if got := dm.Mean(10600); got < 9.9 {
+		t.Fatalf("mean 10 half-lives after step = %v, want ~10", got)
+	}
+}
+
+func TestDecayingMomentsTwoLevels(t *testing.T) {
+	// Long-run alternation between 1 and 3 with equal durations: mean ~2,
+	// std ~1.
+	dm := NewDecayingMoments(2000)
+	v := 1.0
+	for ts := 0.0; ts < 100000; ts += 100 {
+		dm.Observe(ts, v)
+		if v == 1 {
+			v = 3
+		} else {
+			v = 1
+		}
+	}
+	if got := dm.Mean(100000); math.Abs(got-2) > 0.1 {
+		t.Fatalf("mean = %v, want ~2", got)
+	}
+	if got := dm.Std(100000); math.Abs(got-1) > 0.1 {
+		t.Fatalf("std = %v, want ~1", got)
+	}
+}
+
+func TestDecayingMomentsOutOfOrderIgnored(t *testing.T) {
+	dm := NewDecayingMoments(100)
+	dm.Observe(1000, 5)
+	dm.Observe(500, 99) // ignored
+	dm.Observe(2000, 5)
+	if got := dm.Std(2000); got > 1e-9 {
+		t.Fatalf("out-of-order corrupted: std=%v", got)
+	}
+}
+
+func TestDecayingMomentsUnprimed(t *testing.T) {
+	dm := NewDecayingMoments(100)
+	if dm.Primed() || dm.Mean(10) != 0 || dm.Std(10) != 0 {
+		t.Fatal("unprimed tracker should be zero")
+	}
+	dm.Observe(0, 7)
+	if !dm.Primed() {
+		t.Fatal("not primed after observation")
+	}
+	// Single observation, no elapsed weight: mean falls back to the value.
+	if got := dm.Mean(0); got != 7 {
+		t.Fatalf("single-obs mean = %v", got)
+	}
+}
+
+func TestDecayingMomentsPanicsOnBadHalflife(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDecayingMoments(0)
+}
+
+func TestDecayingMomentsStdNonNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(n uint8) bool {
+		dm := NewDecayingMoments(500)
+		ts := 0.0
+		for i := 0; i < int(n)+2; i++ {
+			ts += rng.Float64() * 1000
+			dm.Observe(ts, rng.Float64()*10)
+		}
+		return dm.Std(ts+100) >= 0 && !math.IsNaN(dm.Std(ts+100))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkTrace(t *testing.T, pts []market.Point, end sim.Time) *market.Trace {
+	t.Helper()
+	tr, err := market.NewTrace(market.ID{Region: "r", Type: "small"}, pts, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTrailingStats(t *testing.T) {
+	tr := mkTrace(t, []market.Point{{T: 0, Price: 1}, {T: 1000, Price: 3}}, 5000)
+	// Window covering only the flat tail: zero std, mean 3.
+	if got := TrailingStd(tr, 3000, 1000, 100); got != 0 {
+		t.Fatalf("flat trailing std = %v", got)
+	}
+	if got := TrailingMean(tr, 3000, 1000); got != 3 {
+		t.Fatalf("trailing mean = %v", got)
+	}
+	// Window straddling the step: positive std, mean between levels.
+	if got := TrailingStd(tr, 1500, 1500, 100); got <= 0 {
+		t.Fatalf("straddling std = %v", got)
+	}
+	m := TrailingMean(tr, 2000, 2000)
+	if m <= 1 || m >= 3 {
+		t.Fatalf("straddling mean = %v", m)
+	}
+	// Degenerate inputs.
+	if TrailingStd(tr, 1000, 0, 100) != 0 || TrailingStd(tr, 1000, 100, 0) != 0 {
+		t.Fatal("degenerate windows should be 0")
+	}
+}
+
+func TestExcursionRate(t *testing.T) {
+	tr := mkTrace(t, []market.Point{
+		{T: 0, Price: 0.01},
+		{T: 10000, Price: 0.5}, {T: 11000, Price: 0.01},
+		{T: 50000, Price: 0.7}, {T: 51000, Price: 0.01},
+	}, 2*sim.Day)
+	// Two upward crossings of 0.1 in the first day.
+	got := ExcursionRate(tr, sim.Day, sim.Day, 0.1)
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("excursion rate = %v, want 2/day", got)
+	}
+	// No crossings of a very high threshold.
+	if got := ExcursionRate(tr, sim.Day, sim.Day, 10); got != 0 {
+		t.Fatalf("high-threshold rate = %v", got)
+	}
+	// Empty window.
+	if got := ExcursionRate(tr, 0, sim.Day, 0.1); got != 0 {
+		t.Fatalf("empty-window rate = %v", got)
+	}
+}
+
+func TestFitAR1Recovers(t *testing.T) {
+	// Simulate a known AR(1) and refit.
+	const mu, phi, sigma = 2.0, 0.9, 0.3
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 20000)
+	xs[0] = mu
+	for i := 1; i < len(xs); i++ {
+		xs[i] = mu + phi*(xs[i-1]-mu) + sigma*rng.NormFloat64()
+	}
+	m, err := FitAR1(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Phi-phi) > 0.03 {
+		t.Fatalf("phi = %v, want ~%v", m.Phi, phi)
+	}
+	if math.Abs(m.Mu-mu) > 0.2 {
+		t.Fatalf("mu = %v, want ~%v", m.Mu, mu)
+	}
+	if math.Abs(m.Sigma-sigma) > 0.03 {
+		t.Fatalf("sigma = %v, want ~%v", m.Sigma, sigma)
+	}
+}
+
+func TestFitAR1Degenerate(t *testing.T) {
+	if _, err := FitAR1([]float64{1, 2}); err != ErrShortSeries {
+		t.Fatal("short series accepted")
+	}
+	m, err := FitAR1([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sigma != 0 || m.Phi != 1 {
+		t.Fatalf("constant series fit: %+v", m)
+	}
+}
+
+func TestAR1Forecast(t *testing.T) {
+	m := AR1{Mu: 10, Phi: 0.5, Sigma: 1}
+	if got := m.Forecast(14, 1); math.Abs(got-12) > 1e-9 {
+		t.Fatalf("1-step forecast = %v, want 12", got)
+	}
+	if got := m.Forecast(14, 0); got != 14 {
+		t.Fatalf("0-step forecast = %v", got)
+	}
+	// Long-horizon forecast converges to the mean.
+	if got := m.Forecast(14, 100); math.Abs(got-10) > 1e-6 {
+		t.Fatalf("long forecast = %v, want mu", got)
+	}
+	// Forecast std grows toward the stationary value.
+	if m.ForecastStd(0) != 0 {
+		t.Fatal("0-step std should be 0")
+	}
+	s1, s10 := m.ForecastStd(1), m.ForecastStd(10)
+	if !(s1 < s10) {
+		t.Fatalf("std not increasing: %v vs %v", s1, s10)
+	}
+	if math.Abs(s10-m.StationaryStd()) > 0.01 {
+		t.Fatalf("10-step std %v far from stationary %v", s10, m.StationaryStd())
+	}
+	// Non-stationary model.
+	rw := AR1{Mu: 0, Phi: 1, Sigma: 1}
+	if !math.IsInf(rw.StationaryStd(), 1) {
+		t.Fatal("random walk should have infinite stationary std")
+	}
+	if got := rw.ForecastStd(4); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("random-walk 4-step std = %v, want 2", got)
+	}
+}
+
+func TestScore(t *testing.T) {
+	if Score(1, 2, 0) != 1 {
+		t.Fatal("lambda 0 should be pure mean")
+	}
+	if Score(1, 2, 0.5) != 2 {
+		t.Fatal("score arithmetic wrong")
+	}
+	// A cheap volatile market can lose to a pricier stable one.
+	cheapVolatile := Score(0.02, 0.10, 1)
+	pricierStable := Score(0.04, 0.01, 1)
+	if cheapVolatile < pricierStable {
+		t.Fatal("stability penalty had no effect")
+	}
+}
+
+// TestDecayingMomentsMatchesTrailingStd cross-validates the two volatility
+// estimators on a generated trace: both should agree on which of two
+// markets is more volatile.
+func TestDecayingMomentsMatchesTrailingStd(t *testing.T) {
+	cfg := market.DefaultConfig(3)
+	cfg.Horizon = 6 * sim.Day
+	set, err := market.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	volatile := set.Trace(market.ID{Region: "us-east-1b", Type: "small"})
+	stable := set.Trace(market.ID{Region: "eu-west-1a", Type: "small"})
+
+	measure := func(tr *market.Trace) (decayed, trailing float64) {
+		dm := NewDecayingMoments(12 * sim.Hour)
+		cur := tr.Start()
+		dm.Observe(cur, tr.PriceAt(cur))
+		for {
+			nt, np, ok := tr.NextChangeAfter(cur)
+			if !ok {
+				break
+			}
+			dm.Observe(nt, np)
+			cur = nt
+		}
+		at := tr.End() - 1
+		return dm.Std(at) / tr.PriceAt(0), TrailingStd(tr, at, 2*sim.Day, 300) / tr.PriceAt(0)
+	}
+	dv, tv := measure(volatile)
+	ds, ts := measure(stable)
+	if (dv > ds) != (tv > ts) {
+		t.Fatalf("estimators disagree: decayed %v/%v, trailing %v/%v", dv, ds, tv, ts)
+	}
+}

@@ -1,0 +1,204 @@
+// Package httpapi exposes the spothost simulators over HTTP, so
+// dashboards and notebooks can run hosting studies without linking Go
+// code:
+//
+//	GET  /healthz               liveness
+//	GET  /v1/experiments        list the paper's tables/figures
+//	POST /v1/experiments/{name} run one experiment  {"quick": true, "seeds": 2, "days": 10}
+//	POST /v1/scenario           run a declarative portfolio scenario (internal/scenario schema)
+//
+// Responses are JSON; experiment responses carry both the rendered text
+// table and, where available, the CSV series.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"spothost/internal/experiments"
+	"spothost/internal/metrics"
+	"spothost/internal/scenario"
+	"spothost/internal/sim"
+)
+
+// ExperimentRequest tunes one experiment run.
+type ExperimentRequest struct {
+	Quick bool    `json:"quick"`
+	Seeds int     `json:"seeds"` // 0 = default
+	Days  float64 `json:"days"`  // 0 = default
+}
+
+// ExperimentResponse is the run outcome.
+type ExperimentResponse struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+	CSV  string `json:"csv,omitempty"`
+}
+
+// ServiceResponse serializes one scenario service outcome.
+type ServiceResponse struct {
+	Name           string  `json:"name"`
+	NormalizedCost float64 `json:"normalized_cost"`
+	Unavailability float64 `json:"unavailability"`
+	Cost           float64 `json:"cost"`
+	BaselineCost   float64 `json:"baseline_cost"`
+	Forced         int     `json:"forced_migrations"`
+	Planned        int     `json:"planned_migrations"`
+	Reverse        int     `json:"reverse_migrations"`
+	DowntimeSec    float64 `json:"downtime_seconds"`
+	NetBenefit     float64 `json:"net_benefit,omitempty"`
+	WorthIt        *bool   `json:"worth_it,omitempty"`
+}
+
+// ScenarioResponse is the portfolio outcome.
+type ScenarioResponse struct {
+	Services       []ServiceResponse `json:"services"`
+	TotalCost      float64           `json:"total_cost"`
+	NormalizedCost float64           `json:"normalized_cost"`
+	WorstService   string            `json:"worst_service"`
+	WorstUnavail   float64           `json:"worst_unavailability"`
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the API's http.Handler.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", handleHealth)
+	mux.HandleFunc("/v1/experiments", handleList)
+	mux.HandleFunc("/v1/experiments/", handleExperiment)
+	mux.HandleFunc("/v1/scenario", handleScenario)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	var names []string
+	for _, e := range experiments.All() {
+		names = append(names, e.Name)
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"experiments": names})
+}
+
+func handleExperiment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/v1/experiments/")
+	entry, ok := experiments.Find(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment %q", name)
+		return
+	}
+	var req ExperimentRequest
+	if r.Body != nil {
+		dec := json.NewDecoder(r.Body)
+		if err := dec.Decode(&req); err != nil && err.Error() != "EOF" {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	opts := experiments.Defaults()
+	if req.Quick {
+		opts = experiments.Quick()
+	}
+	if req.Seeds > 0 && req.Seeds <= 16 {
+		opts.Seeds = opts.Seeds[:0]
+		for i := 0; i < req.Seeds; i++ {
+			opts.Seeds = append(opts.Seeds, int64(11*(i+1)))
+		}
+	}
+	if req.Days > 0 {
+		opts.Horizon = req.Days * sim.Day
+		opts.Market.Horizon = opts.Horizon
+	}
+	res, err := entry.Run(opts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "experiment failed: %v", err)
+		return
+	}
+	resp := ExperimentResponse{Name: name, Text: res.Render()}
+	if exp, ok := res.(experiments.CSVExporter); ok {
+		resp.CSV = exp.CSV()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleScenario(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	sc, err := scenario.Load(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if sc.Traces != "" {
+		// The API must not read server-side files on client demand.
+		writeError(w, http.StatusBadRequest, "trace replay is not available over the API")
+		return
+	}
+	res, err := sc.Run()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "scenario failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toScenarioResponse(res))
+}
+
+func toScenarioResponse(res scenario.Result) ScenarioResponse {
+	out := ScenarioResponse{
+		TotalCost:      res.Totals.Cost,
+		NormalizedCost: res.Totals.NormalizedCost(),
+		WorstService:   res.Totals.WorstService,
+		WorstUnavail:   res.Totals.WorstUnavailability,
+	}
+	for _, sr := range res.Services {
+		out.Services = append(out.Services, toServiceResponse(sr.Name, sr.Report, sr))
+	}
+	return out
+}
+
+func toServiceResponse(name string, rep metrics.Report, sr scenario.ServiceResult) ServiceResponse {
+	s := ServiceResponse{
+		Name:           name,
+		NormalizedCost: rep.NormalizedCost(),
+		Unavailability: rep.Unavailability(),
+		Cost:           rep.Cost,
+		BaselineCost:   rep.BaselineCost,
+		Forced:         rep.Migrations.Forced,
+		Planned:        rep.Migrations.Planned,
+		Reverse:        rep.Migrations.Reverse,
+		DowntimeSec:    rep.DowntimeSeconds,
+	}
+	if sr.Analysis != nil {
+		s.NetBenefit = sr.Analysis.Net
+		worth := sr.Analysis.WorthIt()
+		s.WorthIt = &worth
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package market
+
+import (
+	"spothost/internal/sim"
+	"spothost/internal/stats"
+)
+
+// DefaultSampleStep is the grid used when sampling traces for correlation
+// and standard-deviation statistics (5 minutes, matching typical spot
+// price history granularity).
+const DefaultSampleStep sim.Duration = 5 * sim.Minute
+
+// Correlation returns the Pearson correlation coefficient between two
+// traces sampled on a common grid over their shared horizon. It mirrors
+// the statistic behind Fig. 8(b) and Fig. 9(b).
+func Correlation(a, b *Trace) float64 {
+	end := a.End()
+	if b.End() < end {
+		end = b.End()
+	}
+	xs := a.Sample(0, end, DefaultSampleStep)
+	ys := b.Sample(0, end, DefaultSampleStep)
+	r, err := stats.Pearson(xs, ys)
+	if err != nil {
+		return 0
+	}
+	return r
+}
+
+// StdDev returns the sampled standard deviation of a trace's price — the
+// per-market variability statistic of Fig. 10.
+func StdDev(tr *Trace) float64 {
+	return stats.Std(tr.Sample(0, tr.End(), DefaultSampleStep))
+}
+
+// PairwiseAvgCorrelation returns the mean Pearson correlation over all
+// unordered pairs of the given markets' traces. Used for the per-region
+// bars of Fig. 8(b).
+func PairwiseAvgCorrelation(s *Set, ids []ID) float64 {
+	var sum float64
+	n := 0
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			sum += Correlation(s.Trace(ids[i]), s.Trace(ids[j]))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CrossRegionCorrelation returns the mean correlation between same-type
+// markets across two regions — the statistic of Fig. 9(b).
+func CrossRegionCorrelation(s *Set, a, b Region) float64 {
+	var sum float64
+	n := 0
+	for _, t := range s.TypesIn(a) {
+		ta := s.Trace(ID{Region: a, Type: t})
+		tb := s.Trace(ID{Region: b, Type: t})
+		if ta == nil || tb == nil {
+			continue
+		}
+		sum += Correlation(ta, tb)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// TraceSummary captures the headline statistics of one market's trace for
+// reporting (Fig. 1 is rendered from these plus the raw series).
+type TraceSummary struct {
+	Market        ID
+	OnDemand      float64
+	Mean          float64 // time-weighted mean price
+	Min, Max      float64
+	StdDev        float64
+	FracAboveOD   float64 // fraction of time price > on-demand
+	FracAbove4xOD float64 // fraction of time price > 4x on-demand (bid cap)
+	Steps         int
+}
+
+// Summarize computes a TraceSummary for one market of the set.
+func Summarize(s *Set, id ID) TraceSummary {
+	tr := s.Trace(id)
+	od := s.OnDemand(id)
+	return TraceSummary{
+		Market:        id,
+		OnDemand:      od,
+		Mean:          tr.TimeWeightedMean(0, tr.End()),
+		Min:           tr.Min(),
+		Max:           tr.Max(),
+		StdDev:        StdDev(tr),
+		FracAboveOD:   tr.FractionAbove(od, 0, tr.End()),
+		FracAbove4xOD: tr.FractionAbove(4*od, 0, tr.End()),
+		Steps:         tr.Len(),
+	}
+}

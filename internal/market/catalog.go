@@ -1,0 +1,99 @@
+package market
+
+// TypeSpec describes one instance size in the catalog: its capacity in
+// packing units, its nominal memory footprint (which drives migration
+// latency) and its baseline on-demand price before the regional factor.
+//
+// The sizes and hourly prices follow the 2015-era EC2 figures the paper
+// quotes ("from 6 cents per hour for the small configuration"); capacities
+// double per step so a larger server can pack the equivalent number of
+// small nested VMs.
+type TypeSpec struct {
+	Name     InstanceType
+	Units    int     // capacity in unit-VM slots
+	MemoryGB float64 // RAM visible to the nested VM
+	OnDemand float64 // baseline on-demand $/hour (region factor applies)
+}
+
+// DefaultTypes is the four-market catalog the paper evaluates
+// (small/medium/large/xlarge).
+func DefaultTypes() []TypeSpec {
+	return []TypeSpec{
+		{Name: "small", Units: 1, MemoryGB: 1.7, OnDemand: 0.06},
+		{Name: "medium", Units: 2, MemoryGB: 3.75, OnDemand: 0.12},
+		{Name: "large", Units: 4, MemoryGB: 7.5, OnDemand: 0.24},
+		{Name: "xlarge", Units: 8, MemoryGB: 15, OnDemand: 0.48},
+	}
+}
+
+// RegionSpec describes one region's price regime.
+type RegionSpec struct {
+	Name Region
+	// ODFactor scales the baseline on-demand price (regions differ
+	// slightly in list price).
+	ODFactor float64
+	// Volatility scales both the spike arrival rate and the base-level
+	// wobble. The paper observes us-east markets are cheaper but far more
+	// variable than us-west or eu-west (Fig. 10).
+	Volatility float64
+	// BaseRatio is the mean spot/on-demand price ratio outside spikes.
+	BaseRatio float64
+}
+
+// DefaultRegions is the four-region universe the paper reports on:
+// US East 1A, US East 1B, US West 1A, Europe West 1A.
+func DefaultRegions() []RegionSpec {
+	return []RegionSpec{
+		{Name: "us-east-1a", ODFactor: 1.00, Volatility: 1.6, BaseRatio: 0.14},
+		{Name: "us-east-1b", ODFactor: 1.00, Volatility: 1.9, BaseRatio: 0.13},
+		{Name: "us-west-1a", ODFactor: 1.05, Volatility: 1.0, BaseRatio: 0.18},
+		{Name: "eu-west-1a", ODFactor: 1.08, Volatility: 0.55, BaseRatio: 0.26},
+	}
+}
+
+// FindType returns the TypeSpec named t from types, with ok=false when
+// absent.
+func FindType(types []TypeSpec, t InstanceType) (TypeSpec, bool) {
+	for _, ts := range types {
+		if ts.Name == t {
+			return ts, true
+		}
+	}
+	return TypeSpec{}, false
+}
+
+// FindRegion returns the RegionSpec named r from regions, with ok=false
+// when absent.
+func FindRegion(regions []RegionSpec, r Region) (RegionSpec, bool) {
+	for _, rs := range regions {
+		if rs.Name == r {
+			return rs, true
+		}
+	}
+	return RegionSpec{}, false
+}
+
+// OnDemandPrice returns the regional on-demand price for a type.
+func OnDemandPrice(rs RegionSpec, ts TypeSpec) float64 {
+	return ts.OnDemand * rs.ODFactor
+}
+
+// RegionClass maps an availability-zone-style region name ("us-east-1a")
+// to its parent region ("us-east-1") by stripping a trailing zone letter.
+// Names without a digit+letter suffix are returned unchanged. Latency
+// models (instance start-up, WAN links) are keyed by region class because
+// zones of one region share a geography.
+func RegionClass(r Region) string {
+	s := string(r)
+	if n := len(s); n >= 2 {
+		c := s[n-1]
+		if c >= 'a' && c <= 'z' && s[n-2] >= '0' && s[n-2] <= '9' {
+			return s[:n-1]
+		}
+	}
+	return s
+}
+
+// SameRegionClass reports whether two zones belong to the same parent
+// region (migrations between them are LAN migrations).
+func SameRegionClass(a, b Region) bool { return RegionClass(a) == RegionClass(b) }

@@ -1,0 +1,45 @@
+package market_test
+
+import (
+	"fmt"
+	"log"
+
+	"spothost/internal/market"
+	"spothost/internal/sim"
+)
+
+// ExampleGenerate builds a synthetic month of spot prices and inspects the
+// statistics the paper's algorithms exploit.
+func ExampleGenerate() {
+	set, err := market.Generate(market.DefaultConfig(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	id := market.ID{Region: "us-east-1a", Type: "small"}
+	s := market.Summarize(set, id)
+	fmt.Printf("markets=%d regions=%d\n", len(set.IDs()), len(set.Regions()))
+	fmt.Printf("cheap=%v spiky=%v\n",
+		s.Mean < 0.5*s.OnDemand, // mean price far below on-demand
+		s.Max > s.OnDemand)      // but it does spike past it
+	// Output:
+	// markets=16 regions=4
+	// cheap=true spiky=true
+}
+
+// ExampleNewTrace builds a hand-written price script and queries it.
+func ExampleNewTrace() {
+	id := market.ID{Region: "us-east-1a", Type: "small"}
+	tr, err := market.NewTrace(id, []market.Point{
+		{T: 0, Price: 0.010},
+		{T: 7200, Price: 0.095},
+		{T: 10800, Price: 0.012},
+	}, 24*sim.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("price@1h=%.3f price@2.5h=%.3f\n", tr.PriceAt(3600), tr.PriceAt(9000))
+	fmt.Printf("time above $0.06: %.1f%%\n", 100*tr.FractionAbove(0.06, 0, tr.End()))
+	// Output:
+	// price@1h=0.010 price@2.5h=0.095
+	// time above $0.06: 4.2%
+}

@@ -1,0 +1,294 @@
+package market
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spothost/internal/randx"
+	"spothost/internal/sim"
+)
+
+// Config parameterizes the synthetic price generator. DefaultConfig returns
+// the calibration used throughout the experiments; tests tweak individual
+// fields.
+type Config struct {
+	Regions []RegionSpec
+	Types   []TypeSpec
+	Horizon sim.Duration // trace length, seconds
+	Seed    int64
+
+	// Base-level process: a slow AR(1) wobble in log space around
+	// BaseRatio x on-demand, re-sampled every ~StepMean seconds.
+	StepMean sim.Duration
+	BaseCV   float64 // log-space stddev of the wobble
+	BaseAR   float64 // AR(1) coefficient per step, in (0,1)
+
+	// Spike process: Poisson arrivals at SpikesPerDay x region volatility;
+	// each spike lifts the price to ratio x on-demand for an Exp(SpikeMeanDur)
+	// interval, ratio drawn from BoundedPareto(SpikeMin, SpikeAlpha, SpikeMax).
+	SpikesPerDay float64
+	SpikeMeanDur sim.Duration
+	SpikeMin     float64
+	SpikeAlpha   float64
+	SpikeMax     float64
+
+	// Shared-shock structure controlling cross-market correlation.
+	// A fraction of each market's spikes come from a per-region shock
+	// process (shared by markets in the region with RegionShareProb) and a
+	// global process (shared across regions with GlobalShareProb).
+	RegionShareProb float64
+	GlobalShareProb float64
+
+	// Factor loadings of the base-level wobble on shared components:
+	// each market's log-price wobble is a weighted mix of a global factor,
+	// a per-region factor and an idiosyncratic term. These produce the
+	// weak-but-nonzero Pearson correlations of Fig. 8(b) and Fig. 9(b);
+	// squares must sum to at most 1 (the remainder is idiosyncratic).
+	GlobalBaseWeight float64
+	RegionBaseWeight float64
+}
+
+// DefaultConfig returns the calibrated generator configuration for a
+// 30-day universe over the default regions and types.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Regions:         DefaultRegions(),
+		Types:           DefaultTypes(),
+		Horizon:         30 * sim.Day,
+		Seed:            seed,
+		StepMean:        10 * sim.Minute,
+		BaseCV:          0.22,
+		BaseAR:          0.97,
+		SpikesPerDay:    2.2,
+		SpikeMeanDur:    28 * sim.Minute,
+		SpikeMin:        0.35,
+		SpikeAlpha:      1.35,
+		SpikeMax:        15,
+		RegionShareProb: 0.5,
+		GlobalShareProb: 0.25,
+
+		GlobalBaseWeight: 0.28,
+		RegionBaseWeight: 0.45,
+	}
+}
+
+// Validate reports configuration errors early with actionable messages.
+func (c Config) Validate() error {
+	switch {
+	case len(c.Regions) == 0:
+		return fmt.Errorf("market: config has no regions")
+	case len(c.Types) == 0:
+		return fmt.Errorf("market: config has no types")
+	case c.Horizon <= sim.Hour:
+		return fmt.Errorf("market: horizon %v too short", c.Horizon)
+	case c.StepMean <= 0:
+		return fmt.Errorf("market: StepMean must be positive")
+	case c.BaseAR <= 0 || c.BaseAR >= 1:
+		return fmt.Errorf("market: BaseAR must be in (0,1)")
+	case c.SpikeMin <= 0 || c.SpikeMax < c.SpikeMin:
+		return fmt.Errorf("market: invalid spike ratio bounds [%v,%v]", c.SpikeMin, c.SpikeMax)
+	case c.SpikeAlpha <= 0:
+		return fmt.Errorf("market: SpikeAlpha must be positive")
+	case c.GlobalBaseWeight < 0 || c.RegionBaseWeight < 0 ||
+		c.GlobalBaseWeight*c.GlobalBaseWeight+c.RegionBaseWeight*c.RegionBaseWeight > 1:
+		return fmt.Errorf("market: base factor weights invalid (squares must sum to <= 1)")
+	}
+	return nil
+}
+
+// factorSeries is a shared AR(1) wobble sampled on a fixed grid; Value
+// interpolates piecewise-constantly so every market sees the same factor
+// path regardless of its own step times.
+type factorSeries struct {
+	step sim.Duration
+	vals []float64
+}
+
+func newFactorSeries(rng *randx.Stream, horizon sim.Duration, step sim.Duration, ar float64) *factorSeries {
+	n := int(horizon/step) + 2
+	vals := make([]float64, n)
+	vals[0] = rng.NormFloat64()
+	for i := 1; i < n; i++ {
+		vals[i] = ar*vals[i-1] + math.Sqrt(1-ar*ar)*rng.NormFloat64()
+	}
+	return &factorSeries{step: step, vals: vals}
+}
+
+func (f *factorSeries) Value(t sim.Time) float64 {
+	i := int(t / f.step)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(f.vals) {
+		i = len(f.vals) - 1
+	}
+	return f.vals[i]
+}
+
+// shock is one external demand event: while active it lifts the market
+// price to ratio x on-demand.
+type shock struct {
+	start sim.Time
+	end   sim.Time
+	ratio float64 // multiple of the on-demand price
+}
+
+// poissonShocks draws shock arrivals over [0, horizon) at the given daily
+// rate. Ratios come from the bounded-Pareto magnitude distribution scaled
+// by severity.
+func poissonShocks(rng *randx.Stream, cfg Config, ratePerDay, severity float64) []shock {
+	if ratePerDay <= 0 {
+		return nil
+	}
+	var out []shock
+	meanGap := sim.Day / ratePerDay
+	t := rng.Exp(meanGap)
+	for t < cfg.Horizon {
+		dur := rng.Exp(cfg.SpikeMeanDur)
+		if dur < sim.Minute {
+			dur = sim.Minute
+		}
+		ratio := rng.BoundedPareto(cfg.SpikeMin, cfg.SpikeAlpha, cfg.SpikeMax) * severity
+		out = append(out, shock{start: t, end: math.Min(t+dur, cfg.Horizon), ratio: ratio})
+		t += rng.Exp(meanGap)
+	}
+	return out
+}
+
+// Generate produces a Set of synthetic traces for every (region, type)
+// pair in the config. Generation is deterministic in cfg.Seed.
+func Generate(cfg Config) (*Set, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Global shocks, visible to every market with GlobalShareProb.
+	globalRng := randx.Derive(cfg.Seed, "shock/global")
+	global := poissonShocks(globalRng, cfg, cfg.SpikesPerDay*0.6, 1)
+	globalFactor := newFactorSeries(randx.Derive(cfg.Seed, "factor/global"),
+		cfg.Horizon, cfg.StepMean, cfg.BaseAR)
+
+	onDemand := map[ID]float64{}
+	var traces []*Trace
+	for _, rs := range cfg.Regions {
+		// Region-level shocks shared by markets in the region.
+		regionRng := randx.Derive(cfg.Seed, "shock/region/"+string(rs.Name))
+		regional := poissonShocks(regionRng, cfg, cfg.SpikesPerDay*rs.Volatility, 1)
+		regionFactor := newFactorSeries(randx.Derive(cfg.Seed, "factor/region/"+string(rs.Name)),
+			cfg.Horizon, cfg.StepMean, cfg.BaseAR)
+
+		for _, ts := range cfg.Types {
+			id := ID{Region: rs.Name, Type: ts.Name}
+			od := OnDemandPrice(rs, ts)
+			onDemand[id] = od
+			rng := randx.Derive(cfg.Seed, "market/"+id.String())
+
+			// Assemble this market's shocks: adopted regional + global
+			// shocks (with a market-specific severity twist so shared
+			// spikes are correlated but not identical) plus local-only
+			// arrivals topping the rate up to SpikesPerDay*Volatility.
+			var shocks []shock
+			for _, sh := range regional {
+				if rng.Bernoulli(cfg.RegionShareProb) {
+					sh.ratio *= rng.LognormalMeanCV(1, 0.25)
+					shocks = append(shocks, sh)
+				}
+			}
+			for _, sh := range global {
+				if rng.Bernoulli(cfg.GlobalShareProb) {
+					sh.ratio *= rng.LognormalMeanCV(1, 0.25)
+					shocks = append(shocks, sh)
+				}
+			}
+			localRate := cfg.SpikesPerDay * rs.Volatility * (1 - cfg.RegionShareProb)
+			shocks = append(shocks, poissonShocks(rng.Derive("local"), cfg, localRate, 1)...)
+			sort.Slice(shocks, func(i, j int) bool { return shocks[i].start < shocks[j].start })
+
+			points := synthesize(rng.Derive("base"), cfg, rs, od, shocks, globalFactor, regionFactor)
+			tr, err := NewTrace(id, points, cfg.Horizon)
+			if err != nil {
+				return nil, fmt.Errorf("market: generating %s: %w", id, err)
+			}
+			traces = append(traces, tr)
+		}
+	}
+	return NewSet(traces, onDemand)
+}
+
+// synthesize builds the piecewise-constant price series for one market
+// from its base-level factor-model wobble and its shock list.
+func synthesize(rng *randx.Stream, cfg Config, rs RegionSpec, od float64, shocks []shock,
+	globalFactor, regionFactor *factorSeries) []Point {
+	// Base-level wobble in log space, region-scaled; a factor model mixes
+	// the shared global/region components with an idiosyncratic AR(1).
+	sigma := cfg.BaseCV * math.Sqrt(rs.Volatility)
+	gw, rw := cfg.GlobalBaseWeight, cfg.RegionBaseWeight
+	lw := math.Sqrt(1 - gw*gw - rw*rw)
+	wLocal := rng.NormFloat64()
+	now := sim.Time(0)
+	base := func() float64 {
+		w := sigma * (gw*globalFactor.Value(now) + rw*regionFactor.Value(now) + lw*wLocal)
+		p := rs.BaseRatio * od * math.Exp(w-sigma*sigma/2)
+		if p < 0.001 {
+			p = 0.001
+		}
+		return p
+	}
+
+	// Boundary times: base re-samples plus shock starts/ends.
+	type boundary struct {
+		t      sim.Time
+		isBase bool
+	}
+	var bounds []boundary
+	for t := rng.Exp(cfg.StepMean); t < cfg.Horizon; t += rng.Exp(cfg.StepMean) {
+		bounds = append(bounds, boundary{t: t, isBase: true})
+	}
+	for _, sh := range shocks {
+		bounds = append(bounds, boundary{t: sh.start}, boundary{t: sh.end})
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].t < bounds[j].t })
+
+	// activeShockRatio returns the max shock ratio covering time t, or 0.
+	activeShockRatio := func(t sim.Time) float64 {
+		r := 0.0
+		for _, sh := range shocks {
+			if sh.start > t {
+				break
+			}
+			if t >= sh.start && t < sh.end && sh.ratio > r {
+				r = sh.ratio
+			}
+		}
+		return r
+	}
+
+	priceAt := func(t sim.Time) float64 {
+		now = t
+		b := base()
+		if r := activeShockRatio(t); r > 0 {
+			// During a shock the market clears at the shock level, but
+			// never below the prevailing base price.
+			p := r * od
+			if p < b {
+				p = b
+			}
+			return p
+		}
+		return b
+	}
+
+	points := []Point{{T: 0, Price: priceAt(0)}}
+	for _, bd := range bounds {
+		if bd.t <= 0 || bd.t >= cfg.Horizon {
+			continue
+		}
+		if bd.isBase {
+			// Advance the idiosyncratic AR(1) wobble.
+			wLocal = cfg.BaseAR*wLocal + math.Sqrt(1-cfg.BaseAR*cfg.BaseAR)*rng.NormFloat64()
+		}
+		points = append(points, Point{T: bd.t, Price: priceAt(bd.t)})
+	}
+	return points
+}

@@ -1,0 +1,307 @@
+// Package market models cloud spot markets: identifiers for (region,
+// instance type) pairs, piecewise-constant price traces, a synthetic price
+// generator whose dynamics are calibrated to the behaviour the paper's
+// algorithms exploit, and CSV import/export for replaying real AWS spot
+// price history.
+//
+// The paper seeds its simulations with Amazon's published spot price
+// history (Fig. 1). That data is not available offline, so Generate
+// produces synthetic traces with the same load-bearing properties:
+//
+//   - a low, slowly wandering base price (10-30 % of on-demand),
+//   - a Poisson process of sharp price spikes with heavy-tailed magnitude,
+//     occasionally exceeding the on-demand price and, rarely, the 4x
+//     on-demand bid cap,
+//   - region-scaled volatility (us-east markets spike more than eu-west,
+//     Fig. 10),
+//   - weak cross-market and cross-region correlation produced by shared
+//     shock processes (Fig. 8b, 9b).
+package market
+
+import (
+	"fmt"
+	"sort"
+
+	"spothost/internal/sim"
+)
+
+// Region names a cloud region/availability-zone, e.g. "us-east-1a".
+type Region string
+
+// InstanceType names a server size, e.g. "small".
+type InstanceType string
+
+// ID identifies one spot market: an instance type sold in a region.
+type ID struct {
+	Region Region
+	Type   InstanceType
+}
+
+// String returns "region/type".
+func (id ID) String() string { return string(id.Region) + "/" + string(id.Type) }
+
+// Point is one step of a piecewise-constant price trace: the price holds
+// from T until the next point's T.
+type Point struct {
+	T     sim.Time
+	Price float64
+}
+
+// Trace is a piecewise-constant spot price series for one market over
+// [Start, End). Points are strictly increasing in time; the first point is
+// at Start.
+type Trace struct {
+	id     ID
+	points []Point
+	end    sim.Time
+}
+
+// NewTrace builds a trace from points, which must be non-empty, sorted by
+// time, and all have positive prices; end must be after the last point.
+// Consecutive points with equal prices are coalesced.
+func NewTrace(id ID, points []Point, end sim.Time) (*Trace, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("market: trace %s has no points", id)
+	}
+	out := make([]Point, 0, len(points))
+	for i, p := range points {
+		if p.Price <= 0 {
+			return nil, fmt.Errorf("market: trace %s has non-positive price %v at t=%v", id, p.Price, p.T)
+		}
+		if i > 0 && p.T <= points[i-1].T {
+			return nil, fmt.Errorf("market: trace %s has non-increasing time at index %d", id, i)
+		}
+		if len(out) > 0 && out[len(out)-1].Price == p.Price {
+			continue // coalesce equal consecutive prices
+		}
+		out = append(out, p)
+	}
+	if end <= out[len(out)-1].T {
+		return nil, fmt.Errorf("market: trace %s end %v not after last point %v", id, end, out[len(out)-1].T)
+	}
+	return &Trace{id: id, points: out, end: end}, nil
+}
+
+// ID returns the market this trace belongs to.
+func (tr *Trace) ID() ID { return tr.id }
+
+// Start returns the time of the first point.
+func (tr *Trace) Start() sim.Time { return tr.points[0].T }
+
+// End returns the exclusive end of the trace.
+func (tr *Trace) End() sim.Time { return tr.end }
+
+// Len returns the number of price steps.
+func (tr *Trace) Len() int { return len(tr.points) }
+
+// Points returns the underlying steps. Callers must not modify the result.
+func (tr *Trace) Points() []Point { return tr.points }
+
+// PriceAt returns the price in effect at time t. Times before Start clamp
+// to the first price; times at or beyond End clamp to the last.
+func (tr *Trace) PriceAt(t sim.Time) float64 {
+	// Index of the last point with T <= t.
+	i := sort.Search(len(tr.points), func(i int) bool { return tr.points[i].T > t })
+	if i == 0 {
+		return tr.points[0].Price
+	}
+	return tr.points[i-1].Price
+}
+
+// NextChangeAfter returns the time and price of the first step strictly
+// after t. ok is false when no further change exists before End.
+func (tr *Trace) NextChangeAfter(t sim.Time) (at sim.Time, price float64, ok bool) {
+	i := sort.Search(len(tr.points), func(i int) bool { return tr.points[i].T > t })
+	if i >= len(tr.points) {
+		return 0, 0, false
+	}
+	return tr.points[i].T, tr.points[i].Price, true
+}
+
+// Sample evaluates the trace on a uniform grid [start, end) with the given
+// step and returns the sampled prices. Used for correlation and standard
+// deviation statistics (Fig. 8b, 9b, 10).
+func (tr *Trace) Sample(start, end sim.Time, step sim.Duration) []float64 {
+	if step <= 0 || end <= start {
+		return nil
+	}
+	n := int((end - start) / step)
+	out := make([]float64, 0, n)
+	for t := start; t < end; t += step {
+		out = append(out, tr.PriceAt(t))
+	}
+	return out
+}
+
+// TimeWeightedMean returns the time-weighted average price over the window
+// [start, end) (clamped to the trace extent).
+func (tr *Trace) TimeWeightedMean(start, end sim.Time) float64 {
+	if end > tr.end {
+		end = tr.end
+	}
+	if start < tr.Start() {
+		start = tr.Start()
+	}
+	if end <= start {
+		return tr.PriceAt(start)
+	}
+	total := 0.0
+	t := start
+	p := tr.PriceAt(start)
+	for {
+		nt, np, ok := tr.NextChangeAfter(t)
+		if !ok || nt >= end {
+			total += p * (end - t)
+			break
+		}
+		total += p * (nt - t)
+		t, p = nt, np
+	}
+	return total / (end - start)
+}
+
+// FractionAbove returns the fraction of [start, end) during which the price
+// strictly exceeds threshold. This drives the pure-spot unavailability
+// analysis (Fig. 11b).
+func (tr *Trace) FractionAbove(threshold float64, start, end sim.Time) float64 {
+	if end > tr.end {
+		end = tr.end
+	}
+	if start < tr.Start() {
+		start = tr.Start()
+	}
+	if end <= start {
+		return 0
+	}
+	above := 0.0
+	t := start
+	p := tr.PriceAt(start)
+	for {
+		nt, np, ok := tr.NextChangeAfter(t)
+		seg := end
+		if ok && nt < end {
+			seg = nt
+		}
+		if p > threshold {
+			above += seg - t
+		}
+		if !ok || nt >= end {
+			break
+		}
+		t, p = nt, np
+	}
+	frac := above / (end - start)
+	// Clamp float accumulation error: the result is a fraction by
+	// construction.
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return frac
+}
+
+// Max returns the maximum price over the whole trace.
+func (tr *Trace) Max() float64 {
+	m := 0.0
+	for _, p := range tr.points {
+		if p.Price > m {
+			m = p.Price
+		}
+	}
+	return m
+}
+
+// Min returns the minimum price over the whole trace.
+func (tr *Trace) Min() float64 {
+	m := tr.points[0].Price
+	for _, p := range tr.points {
+		if p.Price < m {
+			m = p.Price
+		}
+	}
+	return m
+}
+
+// Set is a collection of traces for a universe of markets plus the
+// on-demand price catalog they were generated against.
+type Set struct {
+	traces   map[ID]*Trace
+	onDemand map[ID]float64
+	start    sim.Time
+	end      sim.Time
+}
+
+// NewSet assembles a Set from traces and an on-demand price catalog. Every
+// trace must have a catalog entry.
+func NewSet(traces []*Trace, onDemand map[ID]float64) (*Set, error) {
+	s := &Set{traces: map[ID]*Trace{}, onDemand: map[ID]float64{}}
+	for _, tr := range traces {
+		if _, dup := s.traces[tr.id]; dup {
+			return nil, fmt.Errorf("market: duplicate trace %s", tr.id)
+		}
+		od, ok := onDemand[tr.id]
+		if !ok || od <= 0 {
+			return nil, fmt.Errorf("market: missing/invalid on-demand price for %s", tr.id)
+		}
+		s.traces[tr.id] = tr
+		s.onDemand[tr.id] = od
+		if s.end == 0 || tr.End() < s.end {
+			s.end = tr.End()
+		}
+	}
+	if len(s.traces) == 0 {
+		return nil, fmt.Errorf("market: empty set")
+	}
+	return s, nil
+}
+
+// Trace returns the trace for id, or nil when absent.
+func (s *Set) Trace(id ID) *Trace { return s.traces[id] }
+
+// OnDemand returns the fixed on-demand price for the market's instance
+// type in its region, or 0 when unknown.
+func (s *Set) OnDemand(id ID) float64 { return s.onDemand[id] }
+
+// Horizon returns the common usable end time across all traces.
+func (s *Set) Horizon() sim.Time { return s.end }
+
+// IDs returns all market identifiers, sorted for determinism.
+func (s *Set) IDs() []ID {
+	ids := make([]ID, 0, len(s.traces))
+	for id := range s.traces {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Region != ids[j].Region {
+			return ids[i].Region < ids[j].Region
+		}
+		return ids[i].Type < ids[j].Type
+	})
+	return ids
+}
+
+// Regions returns the distinct regions present, sorted.
+func (s *Set) Regions() []Region {
+	seen := map[Region]bool{}
+	var out []Region
+	for _, id := range s.IDs() {
+		if !seen[id.Region] {
+			seen[id.Region] = true
+			out = append(out, id.Region)
+		}
+	}
+	return out
+}
+
+// TypesIn returns the instance types available in a region, sorted.
+func (s *Set) TypesIn(r Region) []InstanceType {
+	var out []InstanceType
+	for _, id := range s.IDs() {
+		if id.Region == r {
+			out = append(out, id.Type)
+		}
+	}
+	return out
+}

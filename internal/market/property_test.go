@@ -1,0 +1,119 @@
+package market
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spothost/internal/sim"
+)
+
+// randomTrace builds a random but valid trace from a quick-check seed.
+func randomTrace(rng *rand.Rand) *Trace {
+	n := rng.Intn(40) + 1
+	pts := make([]Point, 0, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		pts = append(pts, Point{T: t, Price: rng.Float64()*2 + 0.001})
+		t += rng.Float64()*5000 + 1
+	}
+	tr, err := NewTrace(ID{Region: "r-1a", Type: "small"}, pts, t+3600)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// TestTracePriceAtWithinMinMax: PriceAt never escapes [Min, Max].
+func TestTracePriceAtWithinMinMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(q uint16) bool {
+		tr := randomTrace(rng)
+		at := float64(q) / 65535 * tr.End() * 1.2 // include past-end queries
+		p := tr.PriceAt(at)
+		return p >= tr.Min() && p <= tr.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceTimeWeightedMeanWithinMinMax: the mean of any window lies
+// between the extremes.
+func TestTraceTimeWeightedMeanWithinMinMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	f := func(a, b uint16) bool {
+		tr := randomTrace(rng)
+		t0 := float64(a) / 65535 * tr.End()
+		t1 := float64(b) / 65535 * tr.End()
+		if t1 < t0 {
+			t0, t1 = t1, t0
+		}
+		m := tr.TimeWeightedMean(t0, t1)
+		return m >= tr.Min()-1e-12 && m <= tr.Max()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceFractionAboveBounds: always a fraction, monotone in the
+// threshold.
+func TestTraceFractionAboveBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := func(q uint8) bool {
+		tr := randomTrace(rng)
+		lo := float64(q) / 255 * 2
+		hi := lo + 0.2
+		fa := tr.FractionAbove(lo, 0, tr.End())
+		fb := tr.FractionAbove(hi, 0, tr.End())
+		return fa >= 0 && fa <= 1 && fb >= 0 && fb <= 1 && fb <= fa+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceNextChangeConsistency: walking the trace via NextChangeAfter
+// visits exactly the coalesced points and their prices match PriceAt.
+func TestTraceNextChangeConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		tr := randomTrace(rng)
+		cur := tr.Start()
+		visited := 1
+		for {
+			nt, np, ok := tr.NextChangeAfter(cur)
+			if !ok {
+				break
+			}
+			if nt <= cur {
+				t.Fatal("NextChangeAfter did not advance")
+			}
+			if got := tr.PriceAt(nt); got != np {
+				t.Fatalf("PriceAt(%v) = %v, change says %v", nt, got, np)
+			}
+			cur = nt
+			visited++
+		}
+		if visited != tr.Len() {
+			t.Fatalf("visited %d of %d points", visited, tr.Len())
+		}
+	}
+}
+
+// TestSampleMatchesPriceAt: every sampled value equals a PriceAt query.
+func TestSampleMatchesPriceAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 30; trial++ {
+		tr := randomTrace(rng)
+		step := sim.Duration(rng.Float64()*900 + 10)
+		samples := tr.Sample(0, tr.End(), step)
+		for i, v := range samples {
+			at := sim.Time(i) * step
+			if got := tr.PriceAt(at); got != v {
+				t.Fatalf("sample %d: %v vs PriceAt %v", i, v, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package market
+
+import (
+	"testing"
+
+	"spothost/internal/sim"
+)
+
+func TestReserveConfigValidation(t *testing.T) {
+	good := DefaultReserveConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*ReserveConfig){
+		func(c *ReserveConfig) { c.Regions = nil },
+		func(c *ReserveConfig) { c.Types = nil },
+		func(c *ReserveConfig) { c.Horizon = 10 },
+		func(c *ReserveConfig) { c.FloorRatio = 0 },
+		func(c *ReserveConfig) { c.CeilRatio = c.FloorRatio },
+		func(c *ReserveConfig) { c.ChangeMean = 0 },
+		func(c *ReserveConfig) { c.Persistence = 1 },
+		func(c *ReserveConfig) { c.SpikesPerDay = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultReserveConfig(1)
+		mutate(&cfg)
+		if _, err := GenerateReserve(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestReserveBandedRegime: without spikes, every price stays strictly
+// inside the [floor, ceiling] x on-demand band — below the on-demand price,
+// so bid = on-demand can never be revoked.
+func TestReserveBandedRegime(t *testing.T) {
+	cfg := DefaultReserveConfig(5)
+	cfg.Horizon = 10 * sim.Day
+	set, err := GenerateReserve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.IDs()) != 16 {
+		t.Fatalf("markets = %d", len(set.IDs()))
+	}
+	for _, id := range set.IDs() {
+		tr := set.Trace(id)
+		od := set.OnDemand(id)
+		lo, hi := cfg.FloorRatio*od, cfg.CeilRatio*od
+		if tr.Min() < lo-1e-12 || tr.Max() > hi+1e-12 {
+			t.Errorf("%s: prices [%v, %v] escape band [%v, %v]",
+				id, tr.Min(), tr.Max(), lo, hi)
+		}
+		if tr.FractionAbove(od, 0, tr.End()) != 0 {
+			t.Errorf("%s: banded price exceeded on-demand", id)
+		}
+		if tr.Len() < 50 {
+			t.Errorf("%s: suspiciously static trace (%d points)", id, tr.Len())
+		}
+	}
+}
+
+// TestReserveWithSpikesEscapesBand: the spike overlay restores excursions
+// above on-demand.
+func TestReserveWithSpikesEscapesBand(t *testing.T) {
+	cfg := DefaultReserveConfig(7)
+	cfg.Horizon = 15 * sim.Day
+	cfg.SpikesPerDay = 3
+	set, err := GenerateReserve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	escaped := false
+	for _, id := range set.IDs() {
+		if set.Trace(id).Max() > set.OnDemand(id) {
+			escaped = true
+			break
+		}
+	}
+	if !escaped {
+		t.Fatal("no market ever exceeded on-demand despite spikes")
+	}
+}
+
+func TestReserveDeterminism(t *testing.T) {
+	cfg := DefaultReserveConfig(3)
+	cfg.Horizon = 3 * sim.Day
+	a, err := GenerateReserve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateReserve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := a.IDs()[0]
+	pa, pb := a.Trace(id).Points(), b.Trace(id).Points()
+	if len(pa) != len(pb) {
+		t.Fatalf("lengths differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package scenario loads declarative JSON descriptions of hosting studies
+// — which services run where, under which policy and mechanism, over which
+// price data, with optional per-service revenue models — and executes them
+// as a portfolio. It is the configuration surface of cmd/portfolio, and
+// the easiest way for a downstream user to describe an evaluation without
+// writing Go.
+//
+// A minimal scenario:
+//
+//	{
+//	  "seed": 42,
+//	  "days": 30,
+//	  "services": [
+//	    {"name": "shop", "region": "us-east-1a", "type": "medium",
+//	     "policy": "proactive", "mechanism": "ckpt-lr-live"}
+//	  ]
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"spothost/internal/cloud"
+	"spothost/internal/econ"
+	"spothost/internal/market"
+	"spothost/internal/metrics"
+	"spothost/internal/replay"
+	"spothost/internal/sched"
+	"spothost/internal/sim"
+	"spothost/internal/vm"
+)
+
+// RevenueDef prices a service's traffic for econ analysis.
+type RevenueDef struct {
+	RequestsPerSecond  float64 `json:"requests_per_second"`
+	RevenuePerRequest  float64 `json:"revenue_per_request"`
+	DegradedLossFactor float64 `json:"degraded_loss_factor"`
+}
+
+// ServiceDef describes one hosted service.
+type ServiceDef struct {
+	Name      string   `json:"name"`
+	Region    string   `json:"region"`
+	Type      string   `json:"type"`
+	Policy    string   `json:"policy"`    // on-demand | reactive | proactive | pure-spot
+	Mechanism string   `json:"mechanism"` // ckpt | ckpt-lr | ckpt-live | ckpt-lr-live | naive
+	VMs       int      `json:"vms"`       // >0: fleet of unit VMs; 0: one market-sized VM
+	Markets   []string `json:"markets"`   // "region/type" candidates; empty = home only
+
+	BidMultiple      float64 `json:"bid_multiple"`
+	Hysteresis       float64 `json:"hysteresis"`
+	StabilityPenalty float64 `json:"stability_penalty"`
+	Pessimistic      bool    `json:"pessimistic"`
+
+	StartHour float64 `json:"start_hour"` // virtual launch time, hours
+	StopHour  float64 `json:"stop_hour"`  // 0 = run to the end
+
+	Revenue *RevenueDef `json:"revenue"`
+}
+
+// Scenario is the top-level document.
+type Scenario struct {
+	Seed int64   `json:"seed"`
+	Days float64 `json:"days"`
+
+	// Traces optionally replays a price file instead of generating
+	// synthetic prices. Format: csv | aws-json | aws-legacy.
+	Traces       string `json:"traces"`
+	TracesFormat string `json:"traces_format"`
+	Product      string `json:"product"`
+
+	Services []ServiceDef `json:"services"`
+}
+
+// Load parses a scenario document.
+func Load(r io.Reader) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return sc, fmt.Errorf("scenario: parsing: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return sc, err
+	}
+	return sc, nil
+}
+
+// Validate checks the document before any work happens.
+func (sc Scenario) Validate() error {
+	if len(sc.Services) == 0 {
+		return fmt.Errorf("scenario: no services")
+	}
+	if sc.Days <= 0 && sc.Traces == "" {
+		return fmt.Errorf("scenario: days must be positive for synthetic prices")
+	}
+	seen := map[string]bool{}
+	for i, s := range sc.Services {
+		if s.Name == "" {
+			return fmt.Errorf("scenario: service %d has no name", i)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("scenario: duplicate service %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Region == "" || s.Type == "" {
+			return fmt.Errorf("scenario: service %q needs region and type", s.Name)
+		}
+		if _, err := parsePolicy(s.Policy); err != nil {
+			return fmt.Errorf("scenario: service %q: %w", s.Name, err)
+		}
+		if _, err := parseMechanism(s.Mechanism); err != nil {
+			return fmt.Errorf("scenario: service %q: %w", s.Name, err)
+		}
+		if s.StopHour != 0 && s.StopHour <= s.StartHour {
+			return fmt.Errorf("scenario: service %q stops before it starts", s.Name)
+		}
+		if s.Revenue != nil {
+			m := econ.RevenueModel{
+				RequestsPerSecond:  s.Revenue.RequestsPerSecond,
+				RevenuePerRequest:  s.Revenue.RevenuePerRequest,
+				DegradedLossFactor: s.Revenue.DegradedLossFactor,
+			}
+			if err := m.Validate(); err != nil {
+				return fmt.Errorf("scenario: service %q: %w", s.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func parsePolicy(s string) (sched.Bidding, error) {
+	switch s {
+	case "on-demand", "on-demand-only", "baseline":
+		return sched.OnDemandOnly, nil
+	case "reactive":
+		return sched.Reactive, nil
+	case "proactive", "":
+		return sched.Proactive, nil
+	case "pure-spot", "spot":
+		return sched.PureSpot, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q", s)
+}
+
+func parseMechanism(s string) (vm.Mechanism, error) {
+	switch s {
+	case "ckpt":
+		return vm.CKPT, nil
+	case "ckpt-lr":
+		return vm.CKPTLazy, nil
+	case "ckpt-live":
+		return vm.CKPTLive, nil
+	case "ckpt-lr-live", "":
+		return vm.CKPTLazyLive, nil
+	case "naive":
+		return vm.Naive, nil
+	}
+	return 0, fmt.Errorf("unknown mechanism %q", s)
+}
+
+func parseMarkets(list []string) ([]market.ID, error) {
+	var out []market.ID
+	for _, part := range list {
+		bits := strings.Split(strings.TrimSpace(part), "/")
+		if len(bits) != 2 || bits[0] == "" || bits[1] == "" {
+			return nil, fmt.Errorf("bad market %q, want region/type", part)
+		}
+		out = append(out, market.ID{
+			Region: market.Region(bits[0]),
+			Type:   market.InstanceType(bits[1]),
+		})
+	}
+	return out, nil
+}
+
+// prices resolves the scenario's market set.
+func (sc Scenario) prices() (*market.Set, error) {
+	if sc.Traces == "" {
+		mcfg := market.DefaultConfig(sc.Seed)
+		mcfg.Horizon = sc.Days * sim.Day
+		return market.Generate(mcfg)
+	}
+	f, err := os.Open(sc.Traces)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: opening traces: %w", err)
+	}
+	defer f.Close()
+	opts := replay.Options{Product: sc.Product}
+	switch sc.TracesFormat {
+	case "", "csv":
+		return market.ReadCSV(f)
+	case "aws-json":
+		return replay.LoadJSON(f, opts)
+	case "aws-legacy":
+		return replay.LoadLegacy(f, opts)
+	}
+	return nil, fmt.Errorf("scenario: unknown traces format %q", sc.TracesFormat)
+}
+
+// config builds one service's scheduler config.
+func (s ServiceDef) config() (sched.Config, error) {
+	home := market.ID{Region: market.Region(s.Region), Type: market.InstanceType(s.Type)}
+	cfg, err := sched.DefaultConfig(home, market.DefaultTypes())
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Bidding, _ = parsePolicy(s.Policy)
+	cfg.Mechanism, _ = parseMechanism(s.Mechanism)
+	if s.Pessimistic {
+		cfg.VMParams = vm.PessimisticParams()
+	}
+	if s.BidMultiple > 0 {
+		cfg.BidMultiple = s.BidMultiple
+	}
+	if s.Hysteresis > 0 {
+		cfg.Hysteresis = s.Hysteresis
+	}
+	cfg.StabilityPenalty = s.StabilityPenalty
+	if len(s.Markets) > 0 {
+		ms, err := parseMarkets(s.Markets)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Markets = ms
+	}
+	if s.VMs > 0 {
+		cfg.Service = sched.ServiceSpec{
+			VM:    vm.Spec{MemoryGB: 1.4, DirtyRateMBps: 8, DiskGB: 4, Units: 1},
+			Count: s.VMs,
+		}
+	}
+	return cfg, nil
+}
+
+// ServiceResult pairs a service's hosting report with its optional
+// business analysis.
+type ServiceResult struct {
+	Name     string
+	Report   metrics.Report
+	Analysis *econ.Analysis // nil without a revenue model
+}
+
+// Result is the whole scenario's outcome.
+type Result struct {
+	Services []ServiceResult
+	Totals   sched.Totals
+}
+
+// Run executes the scenario end to end.
+func (sc Scenario) Run() (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	set, err := sc.prices()
+	if err != nil {
+		return Result{}, err
+	}
+	cp := cloud.DefaultParams(sc.Seed)
+	p := sched.NewPortfolio(set, cp)
+	for _, svc := range sc.Services {
+		cfg, err := svc.config()
+		if err != nil {
+			return Result{}, fmt.Errorf("scenario: service %q: %w", svc.Name, err)
+		}
+		if err := p.AddAt(svc.StartHour*sim.Hour, svc.Name, cfg); err != nil {
+			return Result{}, err
+		}
+		if svc.StopHour > 0 {
+			if err := p.StopAt(svc.StopHour*sim.Hour, svc.Name); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	horizon := sc.Days * sim.Day
+	if err := p.Run(horizon); err != nil {
+		return Result{}, err
+	}
+
+	var out Result
+	for _, svc := range sc.Services {
+		rep, err := p.Report(svc.Name)
+		if err != nil {
+			return Result{}, err
+		}
+		sr := ServiceResult{Name: svc.Name, Report: rep}
+		if svc.Revenue != nil {
+			m := econ.RevenueModel{
+				RequestsPerSecond:  svc.Revenue.RequestsPerSecond,
+				RevenuePerRequest:  svc.Revenue.RevenuePerRequest,
+				DegradedLossFactor: svc.Revenue.DegradedLossFactor,
+			}
+			a, err := econ.Analyze(m, rep)
+			if err != nil {
+				return Result{}, err
+			}
+			sr.Analysis = &a
+		}
+		out.Services = append(out.Services, sr)
+	}
+	out.Totals = p.Totals()
+	return out, nil
+}
+
+// Render prints the scenario outcome as text.
+func (r Result) Render() string {
+	var b strings.Builder
+	for _, sr := range r.Services {
+		fmt.Fprintf(&b, "%-16s cost=%6.1f%%  unavail=%8.4f%%  migrations F/P/R=%d/%d/%d\n",
+			sr.Name, 100*sr.Report.NormalizedCost(), 100*sr.Report.Unavailability(),
+			sr.Report.Migrations.Forced, sr.Report.Migrations.Planned, sr.Report.Migrations.Reverse)
+		if sr.Analysis != nil {
+			fmt.Fprintf(&b, "%-16s %s\n", "", sr.Analysis)
+		}
+	}
+	fmt.Fprintf(&b, "portfolio: %d services, cost %.1f%% of on-demand, worst unavailability %.4f%% (%s)\n",
+		r.Totals.Services, 100*r.Totals.NormalizedCost(),
+		100*r.Totals.WorstUnavailability, r.Totals.WorstService)
+	return b.String()
+}

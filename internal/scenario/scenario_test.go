@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goodDoc = `{
+  "seed": 9,
+  "days": 6,
+  "services": [
+    {"name": "shop", "region": "us-east-1a", "type": "medium",
+     "policy": "proactive", "mechanism": "ckpt-lr-live",
+     "revenue": {"requests_per_second": 40, "revenue_per_request": 0.001,
+                 "degraded_loss_factor": 0.3}},
+    {"name": "api", "region": "us-west-1a", "type": "small",
+     "policy": "reactive", "mechanism": "ckpt-lr"},
+    {"name": "surge", "region": "us-east-1a", "type": "small",
+     "policy": "proactive", "vms": 4,
+     "markets": ["us-east-1a/small", "us-east-1a/large"],
+     "start_hour": 24, "stop_hour": 72}
+  ]
+}`
+
+func TestLoadGood(t *testing.T) {
+	sc, err := Load(strings.NewReader(goodDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Services) != 3 || sc.Days != 6 {
+		t.Fatalf("parsed: %+v", sc)
+	}
+	if sc.Services[0].Revenue == nil {
+		t.Fatal("revenue model lost")
+	}
+}
+
+func TestLoadRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"unknown field":   `{"days": 5, "bogus": 1, "services": [{"name":"a","region":"r","type":"small"}]}`,
+		"no services":     `{"days": 5, "services": []}`,
+		"no days":         `{"services": [{"name":"a","region":"r","type":"small"}]}`,
+		"unnamed service": `{"days": 5, "services": [{"region":"r","type":"small"}]}`,
+		"duplicate names": `{"days": 5, "services": [{"name":"a","region":"r","type":"small"},{"name":"a","region":"r","type":"small"}]}`,
+		"missing region":  `{"days": 5, "services": [{"name":"a","type":"small"}]}`,
+		"bad policy":      `{"days": 5, "services": [{"name":"a","region":"r","type":"small","policy":"wishful"}]}`,
+		"bad mechanism":   `{"days": 5, "services": [{"name":"a","region":"r","type":"small","mechanism":"magic"}]}`,
+		"stop<start":      `{"days": 5, "services": [{"name":"a","region":"r","type":"small","start_hour":10,"stop_hour":5}]}`,
+		"bad revenue":     `{"days": 5, "services": [{"name":"a","region":"r","type":"small","revenue":{"requests_per_second":-1}}]}`,
+	}
+	for label, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}
+
+func TestScenarioRunEndToEnd(t *testing.T) {
+	sc, err := Load(strings.NewReader(goodDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Services) != 3 {
+		t.Fatalf("results = %d", len(res.Services))
+	}
+	byName := map[string]ServiceResult{}
+	for _, sr := range res.Services {
+		byName[sr.Name] = sr
+	}
+	shop := byName["shop"]
+	if shop.Report.Cost <= 0 || shop.Report.NormalizedCost() > 0.6 {
+		t.Fatalf("shop report: %+v", shop.Report)
+	}
+	if shop.Analysis == nil || !shop.Analysis.WorthIt() {
+		t.Fatalf("shop analysis: %+v", shop.Analysis)
+	}
+	if byName["api"].Analysis != nil {
+		t.Fatal("api should have no analysis")
+	}
+	// The surge shard only lives for two days.
+	surge := byName["surge"].Report
+	if surge.Horizon > 49*3600 {
+		t.Fatalf("surge horizon = %v", surge.Horizon)
+	}
+	if res.Totals.Services != 3 || res.Totals.Cost <= 0 {
+		t.Fatalf("totals: %+v", res.Totals)
+	}
+	out := res.Render()
+	for _, want := range []string{"shop", "api", "surge", "portfolio:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScenarioUnknownMarketFails(t *testing.T) {
+	doc := `{"days": 3, "services": [
+	  {"name":"a","region":"atlantis-1a","type":"small"}]}`
+	sc, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("unknown region ran")
+	}
+}
+
+func TestScenarioReplaysCSV(t *testing.T) {
+	// Write a tiny CSV universe and point the scenario at it.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prices.csv")
+	csv := strings.Join([]string{
+		"seconds,region,instance_type,price",
+		"0,us-east-1a,small,0.011",
+		"7200,us-east-1a,small,0.013",
+		"#ondemand,us-east-1a,small,0.06",
+		"#end,,,259200",
+	}, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := `{"traces": "` + path + `", "services": [
+	  {"name":"svc","region":"us-east-1a","type":"small","policy":"proactive"}]}`
+	sc, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Services[0].Report
+	if r.Cost <= 0 || r.SpotFraction() < 0.9 {
+		t.Fatalf("replayed run: %+v", r)
+	}
+}
+
+func TestScenarioBadTraces(t *testing.T) {
+	doc := `{"traces": "/nonexistent/prices.csv", "services": [
+	  {"name":"svc","region":"us-east-1a","type":"small"}]}`
+	sc, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("missing traces file ran")
+	}
+	sc.Traces = "scenario.go" // exists but wrong format
+	sc.TracesFormat = "carrier-pigeon"
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("unknown format ran")
+	}
+}

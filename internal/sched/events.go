@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"fmt"
+
+	"spothost/internal/cloud"
+	"spothost/internal/market"
+	"spothost/internal/sim"
+)
+
+// EventKind classifies scheduler log entries.
+type EventKind int
+
+const (
+	// EvBoot: initial server acquisition requested.
+	EvBoot EventKind = iota
+	// EvServiceUp: the service became (or came back) fully operational.
+	EvServiceUp
+	// EvMigrationStart: a voluntary migration began (destination
+	// requested).
+	EvMigrationStart
+	// EvMigrationDone: a voluntary migration completed.
+	EvMigrationDone
+	// EvMigrationAborted: a voluntary migration was abandoned (target
+	// failed or a revocation preempted it).
+	EvMigrationAborted
+	// EvWarning: the provider announced a revocation.
+	EvWarning
+	// EvSuspend: the VMs suspended for the final checkpoint increment (or
+	// died, for the naive mechanism).
+	EvSuspend
+	// EvRestore: the VMs began restoring on the destination.
+	EvRestore
+	// EvWaiting: pure spot entered the down-and-waiting state.
+	EvWaiting
+	// EvStopped: the service was voluntarily wound down (Stop).
+	EvStopped
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvBoot:
+		return "boot"
+	case EvServiceUp:
+		return "up"
+	case EvMigrationStart:
+		return "migration-start"
+	case EvMigrationDone:
+		return "migration-done"
+	case EvMigrationAborted:
+		return "migration-aborted"
+	case EvWarning:
+		return "warning"
+	case EvSuspend:
+		return "suspend"
+	case EvRestore:
+		return "restore"
+	case EvWaiting:
+		return "waiting"
+	default:
+		return "stopped"
+	}
+}
+
+// Event is one scheduler log entry.
+type Event struct {
+	At        sim.Time
+	Kind      EventKind
+	Market    market.ID
+	Lifecycle cloud.Lifecycle
+	Note      string
+}
+
+// String renders one entry.
+func (e Event) String() string {
+	return fmt.Sprintf("t=%8.0f %-17s %s/%s %s", e.At, e.Kind, e.Market, e.Lifecycle, e.Note)
+}
+
+// logEvent appends to the scheduler's event log.
+func (s *Scheduler) logEvent(k EventKind, g *serverGroup, note string) {
+	ev := Event{At: s.eng.Now(), Kind: k, Note: note}
+	if g != nil {
+		ev.Market = g.market
+		ev.Lifecycle = g.lifecycle
+	}
+	s.events = append(s.events, ev)
+}
+
+// Events returns the scheduler's event log in order. Callers must not
+// modify the result.
+func (s *Scheduler) Events() []Event { return s.events }
+
+// EventsOf filters the log by kind.
+func (s *Scheduler) EventsOf(k EventKind) []Event {
+	var out []Event
+	for _, e := range s.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}

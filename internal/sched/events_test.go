@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"spothost/internal/cloud"
+	"spothost/internal/market"
+	"spothost/internal/sim"
+)
+
+// TestEventLogForcedSequence asserts the exact event sequence of the
+// paper's revocation flow: boot -> up -> warning -> suspend -> restore ->
+// up, followed by the reverse migration once the price recovers.
+func TestEventLogForcedSequence(t *testing.T) {
+	set := singleMarketSet(t, []market.Point{
+		{T: 0, Price: 0.01},
+		{T: 10000, Price: 0.30},
+		{T: 20000, Price: 0.01},
+	}, 40*sim.Hour)
+	eng := sim.NewEngine()
+	prov := cloud.NewProvider(eng, set, fixedCloudParams())
+	s, err := New(prov, mustConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	eng.RunUntil(40 * sim.Hour)
+
+	var kinds []EventKind
+	for _, e := range s.Events() {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []EventKind{
+		EvBoot, EvServiceUp, // spot bootstrap
+		EvWarning, EvSuspend, EvRestore, EvServiceUp, // forced migration
+		EvMigrationStart, EvMigrationDone, // reverse migration
+	}
+	if len(kinds) < len(want) {
+		t.Fatalf("log too short: %v", kinds)
+	}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("event %d = %v, want %v\nfull log:\n%s", i, kinds[i], k, renderLog(s))
+		}
+	}
+	// Ordering sanity: timestamps non-decreasing.
+	evs := s.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("log out of order at %d:\n%s", i, renderLog(s))
+		}
+	}
+	// Filters.
+	if got := len(s.EventsOf(EvWarning)); got != 1 {
+		t.Fatalf("warnings = %d", got)
+	}
+	if got := len(s.EventsOf(EvServiceUp)); got < 2 {
+		t.Fatalf("service-up events = %d", got)
+	}
+	// Render includes the market and the note.
+	line := s.Events()[2].String()
+	if !strings.Contains(line, "warning") || !strings.Contains(line, "us-east-1a/small") {
+		t.Fatalf("render: %q", line)
+	}
+}
+
+// TestEventLogPlannedSequence: a mid-band excursion produces a voluntary
+// migration pair instead of warnings.
+func TestEventLogPlannedSequence(t *testing.T) {
+	set := singleMarketSet(t, []market.Point{
+		{T: 0, Price: 0.01},
+		{T: 10000, Price: 0.10},
+		{T: 30000, Price: 0.01},
+	}, 40*sim.Hour)
+	eng := sim.NewEngine()
+	prov := cloud.NewProvider(eng, set, fixedCloudParams())
+	s, err := New(prov, mustConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	eng.RunUntil(40 * sim.Hour)
+
+	if len(s.EventsOf(EvWarning)) != 0 {
+		t.Fatalf("proactive policy was warned:\n%s", renderLog(s))
+	}
+	starts := s.EventsOf(EvMigrationStart)
+	dones := s.EventsOf(EvMigrationDone)
+	if len(starts) < 2 || len(dones) < 2 {
+		t.Fatalf("expected planned + reverse migration pairs:\n%s", renderLog(s))
+	}
+	// First voluntary move lands on on-demand, second back on spot.
+	if dones[0].Lifecycle != cloud.OnDemand || dones[1].Lifecycle != cloud.Spot {
+		t.Fatalf("migration lifecycles: %v, %v", dones[0].Lifecycle, dones[1].Lifecycle)
+	}
+}
+
+// TestEventLogPureSpotWaiting: pure spot logs the waiting state.
+func TestEventLogPureSpotWaiting(t *testing.T) {
+	set := singleMarketSet(t, []market.Point{
+		{T: 0, Price: 0.01},
+		{T: 10000, Price: 0.30},
+		{T: 20000, Price: 0.01},
+	}, 40*sim.Hour)
+	eng := sim.NewEngine()
+	prov := cloud.NewProvider(eng, set, fixedCloudParams())
+	cfg := mustConfig(t)
+	cfg.Bidding = PureSpot
+	s, err := New(prov, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	eng.RunUntil(40 * sim.Hour)
+
+	if len(s.EventsOf(EvWaiting)) != 1 {
+		t.Fatalf("waiting events:\n%s", renderLog(s))
+	}
+	ups := s.EventsOf(EvServiceUp)
+	if len(ups) < 2 || ups[len(ups)-1].Note != "re-acquired spot capacity" {
+		t.Fatalf("reacquisition missing:\n%s", renderLog(s))
+	}
+}
+
+func renderLog(s *Scheduler) string {
+	var b strings.Builder
+	for _, e := range s.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

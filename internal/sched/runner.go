@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"fmt"
+
+	"spothost/internal/cloud"
+	"spothost/internal/market"
+	"spothost/internal/metrics"
+	"spothost/internal/sim"
+)
+
+// Run wires up an engine, a provider over the given price set, and a
+// scheduler, runs the simulation to the horizon (clamped to the traces'
+// common extent), and returns the run report.
+func Run(set *market.Set, cloudParams cloud.Params, cfg Config, horizon sim.Duration) (metrics.Report, error) {
+	if horizon <= 0 || horizon > set.Horizon() {
+		horizon = set.Horizon()
+	}
+	eng := sim.NewEngine()
+	prov := cloud.NewProvider(eng, set, cloudParams)
+	s, err := New(prov, cfg)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	s.Start()
+	eng.RunUntil(horizon)
+	return s.Report(), nil
+}
+
+// RunSeeds runs the same configuration against freshly generated synthetic
+// universes for each seed and returns the per-seed reports. The market
+// config's Seed field is overridden per run.
+func RunSeeds(mcfg market.Config, cloudParams cloud.Params, cfg Config,
+	horizon sim.Duration, seeds []int64) ([]metrics.Report, error) {
+
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sched: no seeds")
+	}
+	var out []metrics.Report
+	for _, seed := range seeds {
+		mc := mcfg
+		mc.Seed = seed
+		set, err := market.Generate(mc)
+		if err != nil {
+			return nil, err
+		}
+		cp := cloudParams
+		cp.Seed = seed
+		r, err := Run(set, cp, cfg, horizon)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

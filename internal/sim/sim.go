@@ -1,0 +1,217 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock measured in seconds and a pending
+// event heap. Events scheduled for the same instant fire in the order they
+// were scheduled (FIFO tie-break by sequence number), which makes every run
+// fully deterministic given deterministic event handlers.
+//
+// The kernel is intentionally single-threaded: the cloud-provider, market
+// and scheduler models all run inside one event loop, which is both faster
+// and easier to reason about than goroutine-per-entity designs for this
+// workload (hundreds of thousands of tiny events).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual timestamp in seconds since the start of the simulation.
+type Time = float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = float64
+
+// Common durations, in seconds.
+const (
+	Second Duration = 1
+	Minute Duration = 60
+	Hour   Duration = 3600
+	Day    Duration = 24 * Hour
+)
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// At returns the virtual time the event fires at.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation kernel. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pending eventHeap
+	stopped bool
+	// processed counts events executed, exposed for tests and reports.
+	processed uint64
+}
+
+// NewEngine returns an empty engine with its clock at 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events (including canceled ones not yet
+// reaped) waiting in the queue.
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// (before Now) panics: it always indicates a model bug, and silently
+// clamping would hide it.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if math.IsNaN(at) {
+		panic("sim: Schedule at NaN")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: Schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pending, ev)
+	return ev
+}
+
+// After runs fn after delay d from the current time. Negative delays panic.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that
+// already fired or was already canceled is a harmless no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	// The event stays in the heap and is skipped when popped; removing it
+	// eagerly keeps the heap small when cancellation is common.
+	if ev.index >= 0 && ev.index < len(e.pending) && e.pending[ev.index] == ev {
+		heap.Remove(&e.pending, ev.index)
+	}
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step executes the earliest pending event. It reports false when the queue
+// is empty.
+func (e *Engine) step(limit Time) bool {
+	for len(e.pending) > 0 {
+		next := e.pending[0]
+		if next.canceled {
+			heap.Pop(&e.pending)
+			continue
+		}
+		if next.at > limit {
+			return false
+		}
+		heap.Pop(&e.pending)
+		e.now = next.at
+		e.processed++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step(math.Inf(1)) {
+	}
+}
+
+// RunUntil executes events with timestamps <= horizon, then advances the
+// clock to exactly horizon. Events scheduled beyond the horizon remain
+// pending.
+func (e *Engine) RunUntil(horizon Time) {
+	e.stopped = false
+	for !e.stopped && e.step(horizon) {
+	}
+	if !e.stopped && horizon > e.now {
+		e.now = horizon
+	}
+}
+
+// Ticker invokes fn every period, starting at start, until the returned
+// cancel function is called. fn receives the tick time.
+func (e *Engine) Ticker(start Time, period Duration, fn func(Time)) (cancel func()) {
+	if period <= 0 {
+		panic("sim: Ticker with non-positive period")
+	}
+	stopped := false
+	var tick func()
+	at := start
+	var ev *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(e.now)
+		at += period
+		ev = e.Schedule(at, tick)
+	}
+	ev = e.Schedule(at, tick)
+	return func() {
+		stopped = true
+		e.Cancel(ev)
+	}
+}
+
+// NextHourBoundary returns the earliest multiple of Hour that is strictly
+// greater than t, measured from origin. It is used for billing-hour clocks
+// that start at instance launch rather than at time zero.
+func NextHourBoundary(origin, t Time) Time {
+	if t < origin {
+		return origin + Hour
+	}
+	elapsed := t - origin
+	n := math.Floor(elapsed/Hour) + 1
+	return origin + n*Hour
+}

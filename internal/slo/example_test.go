@@ -1,0 +1,25 @@
+package slo_test
+
+import (
+	"fmt"
+
+	"spothost/internal/sim"
+	"spothost/internal/slo"
+)
+
+// Example audits two months of downtime episodes against the paper's
+// four-nines requirement.
+func Example() {
+	t := &slo.Tracker{}
+	t.Add(2*sim.Day, 2*sim.Day+120)   // a 2-minute outage in month 1
+	t.Add(10*sim.Day, 10*sim.Day+90)  // 1.5 minutes more: month 1 total 3.5 min
+	t.Add(40*sim.Day, 40*sim.Day+600) // a 10-minute outage in month 2
+
+	for i, w := range t.Windows(slo.FourNines, 30*sim.Day, 60*sim.Day) {
+		fmt.Printf("month %d: %.1f min down, burn %.0f%%, compliant=%v\n",
+			i+1, w.Downtime/sim.Minute, 100*w.BudgetBurn, w.Compliant)
+	}
+	// Output:
+	// month 1: 3.5 min down, burn 81%, compliant=true
+	// month 2: 10.0 min down, burn 231%, compliant=false
+}

@@ -1,0 +1,101 @@
+package stats
+
+import "math"
+
+// Autocorrelation returns the sample autocorrelation of xs at the given
+// lag (lag 0 = 1 by definition). It returns 0 for constant series or when
+// the lag leaves fewer than two overlapping points.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 {
+		lag = -lag
+	}
+	if n-lag < 2 {
+		return 0
+	}
+	mean := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (xs[i] - mean) * (xs[i+lag] - mean)
+	}
+	return num / den
+}
+
+// AutocorrelationFn returns autocorrelations for lags 0..maxLag.
+func AutocorrelationFn(xs []float64, maxLag int) []float64 {
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	out := make([]float64, maxLag+1)
+	for lag := 0; lag <= maxLag; lag++ {
+		out[lag] = Autocorrelation(xs, lag)
+	}
+	return out
+}
+
+// DecorrelationLag returns the smallest lag at which the autocorrelation
+// drops below the threshold, or maxLag+1 when it never does — a rough
+// memory-length estimate for a price series.
+func DecorrelationLag(xs []float64, threshold float64, maxLag int) int {
+	for lag := 1; lag <= maxLag; lag++ {
+		if Autocorrelation(xs, lag) < threshold {
+			return lag
+		}
+	}
+	return maxLag + 1
+}
+
+// CrossCorrelation returns the Pearson correlation between xs and ys with
+// ys shifted forward by lag samples (positive lag: ys leads xs). Series
+// must be equal length; insufficient overlap returns 0.
+func CrossCorrelation(xs, ys []float64, lag int) float64 {
+	if len(xs) != len(ys) {
+		return 0
+	}
+	var a, b []float64
+	switch {
+	case lag >= 0:
+		if lag >= len(xs) {
+			return 0
+		}
+		a, b = xs[lag:], ys[:len(ys)-lag]
+	default:
+		lag = -lag
+		if lag >= len(xs) {
+			return 0
+		}
+		a, b = xs[:len(xs)-lag], ys[lag:]
+	}
+	r, err := Pearson(a, b)
+	if err != nil {
+		return 0
+	}
+	return r
+}
+
+// RollingStd returns the standard deviation of xs over a sliding window of
+// the given width; positions with an incomplete window carry NaN.
+func RollingStd(xs []float64, window int) []float64 {
+	out := make([]float64, len(xs))
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	if window < 2 || window > len(xs) {
+		return out
+	}
+	for i := window - 1; i < len(xs); i++ {
+		var w Welford
+		for j := i - window + 1; j <= i; j++ {
+			w.Add(xs[j])
+		}
+		out[i] = w.Std()
+	}
+	return out
+}

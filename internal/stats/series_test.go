@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAutocorrelationBasics(t *testing.T) {
+	// Lag 0 is identically 1 for any non-constant series.
+	xs := []float64{1, 3, 2, 5, 4, 6, 5, 7}
+	if got := Autocorrelation(xs, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("lag-0 = %v", got)
+	}
+	// Negative lags mirror positive ones.
+	if Autocorrelation(xs, 2) != Autocorrelation(xs, -2) {
+		t.Fatal("lag sign not mirrored")
+	}
+	// Constant series: defined as 0.
+	if Autocorrelation([]float64{5, 5, 5, 5}, 1) != 0 {
+		t.Fatal("constant series should be 0")
+	}
+	// Too-short overlap.
+	if Autocorrelation(xs, len(xs)-1) != 0 {
+		t.Fatal("short overlap should be 0")
+	}
+}
+
+func TestAutocorrelationPersistentVsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// AR(1) with phi=0.9 has high lag-1 autocorrelation...
+	persistent := make([]float64, 5000)
+	for i := 1; i < len(persistent); i++ {
+		persistent[i] = 0.9*persistent[i-1] + rng.NormFloat64()
+	}
+	// ...white noise has ~0.
+	noise := make([]float64, 5000)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	if got := Autocorrelation(persistent, 1); got < 0.8 {
+		t.Fatalf("AR(1) lag-1 = %v, want ~0.9", got)
+	}
+	if got := Autocorrelation(noise, 1); math.Abs(got) > 0.08 {
+		t.Fatalf("noise lag-1 = %v, want ~0", got)
+	}
+	// The persistent series stays correlated longer.
+	lp := DecorrelationLag(persistent, 0.2, 100)
+	ln := DecorrelationLag(noise, 0.2, 100)
+	if lp <= ln {
+		t.Fatalf("decorrelation lags: persistent %d vs noise %d", lp, ln)
+	}
+}
+
+func TestAutocorrelationFn(t *testing.T) {
+	xs := []float64{1, 2, 1, 2, 1, 2, 1, 2}
+	acf := AutocorrelationFn(xs, 2)
+	if len(acf) != 3 || acf[0] != 1 {
+		t.Fatalf("acf = %v", acf)
+	}
+	// An alternating series is negatively correlated at lag 1, positively
+	// at lag 2.
+	if acf[1] >= 0 || acf[2] <= 0 {
+		t.Fatalf("alternating acf = %v", acf)
+	}
+	if got := AutocorrelationFn(xs, -3); len(got) != 1 {
+		t.Fatalf("negative maxLag: %v", got)
+	}
+}
+
+func TestDecorrelationLagNeverDrops(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} // trend: stays correlated
+	if got := DecorrelationLag(xs, 0.01, 3); got != 4 {
+		t.Fatalf("never-drops lag = %d, want maxLag+1", got)
+	}
+}
+
+func TestCrossCorrelation(t *testing.T) {
+	// ys leads xs by 2 samples.
+	ys := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	xs := []float64{0, 0, 1, 2, 3, 4, 5, 6, 7, 8}
+	best, bestLag := -2.0, 0
+	for lag := -3; lag <= 3; lag++ {
+		if r := CrossCorrelation(xs, ys, lag); r > best {
+			best, bestLag = r, lag
+		}
+	}
+	if bestLag != 2 && best < 0.999 {
+		t.Fatalf("best lag = %d (r=%v), want 2", bestLag, best)
+	}
+	// Guards.
+	if CrossCorrelation(xs, ys[:5], 0) != 0 {
+		t.Fatal("length mismatch should be 0")
+	}
+	if CrossCorrelation(xs, ys, 99) != 0 || CrossCorrelation(xs, ys, -99) != 0 {
+		t.Fatal("overlong lag should be 0")
+	}
+}
+
+func TestRollingStd(t *testing.T) {
+	xs := []float64{1, 1, 1, 5, 5, 5}
+	rs := RollingStd(xs, 3)
+	if !math.IsNaN(rs[0]) || !math.IsNaN(rs[1]) {
+		t.Fatal("incomplete windows should be NaN")
+	}
+	if rs[2] != 0 { // window [1,1,1]
+		t.Fatalf("flat window std = %v", rs[2])
+	}
+	if rs[3] <= 0 { // window [1,1,5]
+		t.Fatalf("stepped window std = %v", rs[3])
+	}
+	if rs[5] != 0 { // window [5,5,5]
+		t.Fatalf("flat tail std = %v", rs[5])
+	}
+	// Degenerate windows.
+	for _, w := range []int{0, 1, 7} {
+		out := RollingStd(xs, w)
+		for _, v := range out {
+			if !math.IsNaN(v) {
+				t.Fatalf("window %d should be all NaN", w)
+			}
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almost(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	if !almost(w.PopStd(), 2, 1e-12) {
+		t.Fatalf("pop std = %v", w.PopStd())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Std() != 0 || w.PopStd() != 0 {
+		t.Fatal("empty accumulator should be all zero")
+	}
+	w.Add(42)
+	if w.Mean() != 42 || w.Var() != 0 || w.Min() != 42 || w.Max() != 42 {
+		t.Fatalf("single sample: %+v", w)
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(na, nb uint8) bool {
+		var a, b, all Welford
+		for i := 0; i < int(na)+1; i++ {
+			x := rng.NormFloat64()*3 + 10
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < int(nb)+1; i++ {
+			x := rng.NormFloat64()*5 - 2
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			almost(a.Mean(), all.Mean(), 1e-9) &&
+			almost(a.Var(), all.Var(), 1e-7) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	a.Merge(b) // merging empty changes nothing
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Fatalf("merge with empty corrupted: %+v", a)
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Fatalf("merge into empty wrong: %+v", b)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatal("Mean wrong")
+	}
+	if Std([]float64{5}) != 0 {
+		t.Fatal("Std of single value should be 0")
+	}
+	if !almost(Std([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7), 1e-12) {
+		t.Fatal("Std wrong")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almost(r, 1, 1e-12) {
+		t.Fatalf("r = %v err = %v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almost(r, -1, 1e-12) {
+		t.Fatalf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{2, 3, 4})
+	if err != nil || r != 0 {
+		t.Fatalf("constant series should give r=0, got %v, %v", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("too-short input not detected")
+	}
+}
+
+func TestPearsonRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(n uint8) bool {
+		m := int(n%50) + 2
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r, err := Pearson(xs, ys)
+		return err == nil && r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20},
+	} {
+		got, err := Percentile(xs, c.p)
+		if err != nil || !almost(got, c.want, 1e-9) {
+			t.Errorf("P%v = %v (err %v), want %v", c.p, got, err, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatal("empty percentile should error")
+	}
+	got, _ := Percentile([]float64{7}, 99)
+	if got != 7 {
+		t.Fatalf("single-element percentile = %v", got)
+	}
+	// Out-of-range p clamps.
+	got, _ = Percentile(xs, -5)
+	if got != 15 {
+		t.Fatalf("clamped p<0 = %v", got)
+	}
+	got, _ = Percentile(xs, 200)
+	if got != 50 {
+		t.Fatalf("clamped p>100 = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_, _ = Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var tw TimeWeighted
+	tw.Start(0, 10)
+	tw.Observe(5, 20) // value 10 held for 5s
+	tw.Observe(15, 0) // value 20 held for 10s
+	got := tw.Finish(20)
+	// (10*5 + 20*10 + 0*5) / 20 = 12.5
+	if !almost(got, 12.5, 1e-12) {
+		t.Fatalf("time-weighted mean = %v", got)
+	}
+}
+
+func TestTimeWeightedAutoStart(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(3, 7) // acts as Start
+	if got := tw.Finish(10); !almost(got, 7, 1e-12) {
+		t.Fatalf("auto-start mean = %v", got)
+	}
+}
+
+func TestTimeWeightedOutOfOrderIgnored(t *testing.T) {
+	var tw TimeWeighted
+	tw.Start(10, 1)
+	tw.Observe(5, 99) // in the past: ignored
+	if got := tw.Finish(20); !almost(got, 1, 1e-12) {
+		t.Fatalf("out-of-order observation corrupted mean: %v", got)
+	}
+}
+
+func TestTimeWeightedZeroElapsed(t *testing.T) {
+	var tw TimeWeighted
+	tw.Start(5, 3)
+	if got := tw.Finish(5); got != 3 {
+		t.Fatalf("zero-elapsed mean = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Fatalf("under/over = %d/%d", h.Underflow, h.Overflow)
+	}
+	if h.Bins[0] != 2 { // 0 and 1.9
+		t.Fatalf("bin0 = %d", h.Bins[0])
+	}
+	if h.Bins[1] != 1 { // 2
+		t.Fatalf("bin1 = %d", h.Bins[1])
+	}
+	if h.Bins[4] != 1 { // 9.99
+		t.Fatalf("bin4 = %d", h.Bins[4])
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if !almost(h.Fraction(0), 2.0/7, 1e-12) {
+		t.Fatalf("fraction = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestHistogramConservation(t *testing.T) {
+	h := NewHistogram(-3, 3, 12)
+	rng := rand.New(rand.NewSource(2))
+	const n = 10000
+	for i := 0; i < n; i++ {
+		h.Add(rng.NormFloat64())
+	}
+	total := h.Underflow + h.Overflow
+	for _, b := range h.Bins {
+		total += b
+	}
+	if total != n {
+		t.Fatalf("samples lost: %d != %d", total, n)
+	}
+}

@@ -1,0 +1,41 @@
+package tpcw_test
+
+import (
+	"fmt"
+	"log"
+
+	"spothost/internal/tpcw"
+)
+
+// ExampleRun contrasts nested and native VMs under the paper's two TPC-W
+// configurations at 300 emulated browsers.
+func ExampleRun() {
+	for _, withImages := range []bool{true, false} {
+		nat, err := tpcw.Run(tpcw.DefaultConfig(300, withImages, false, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		nst, err := tpcw.Run(tpcw.DefaultConfig(300, withImages, true, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio := nst.MeanResponseMs / nat.MeanResponseMs
+		fmt.Printf("withImages=%v nested-penalty>25%%=%v\n", withImages, ratio > 1.25)
+	}
+	// Output:
+	// withImages=true nested-penalty>25%=false
+	// withImages=false nested-penalty>25%=true
+}
+
+// ExamplePlanCapacity sizes a nested fleet for a 300 ms response-time
+// target under CPU-bound load.
+func ExamplePlanCapacity() {
+	cfg := tpcw.DefaultConfig(400, false, true, 3)
+	plan, err := tpcw.PlanCapacity(cfg, 300, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("met=%v replicas>=2=%v\n", plan.Met, plan.Replicas >= 2)
+	// Output:
+	// met=true replicas>=2=true
+}

@@ -1,0 +1,65 @@
+package tpcw
+
+import (
+	"spothost/internal/randx"
+	"spothost/internal/vm"
+)
+
+// IOMicrobench reproduces the Table 4 micro-benchmarks: iperf network
+// throughput and dd disk throughput on a native Amazon VM versus a nested
+// (Xen-Blanket) VM. The native baselines are the paper's measurements for
+// an m3.medium with EBS; the nested column applies the vm.Overhead factors
+// with small run-to-run measurement noise.
+type IOMicrobench struct {
+	// Throughputs in Mbps, as Table 4 reports them.
+	NetworkTx float64
+	NetworkRx float64
+	DiskRead  float64
+	DiskWrite float64
+}
+
+// NativeBaselines are the paper's measured Amazon-VM rates (Table 4).
+func NativeBaselines() IOMicrobench {
+	return IOMicrobench{
+		NetworkTx: 304,
+		NetworkRx: 316,
+		DiskRead:  304.6,
+		DiskWrite: 280.4,
+	}
+}
+
+// MeasureIO "runs" the micro-benchmarks under the given virtualization
+// overhead: each rate is the native baseline scaled by its factor, with
+// noise of the given coefficient of variation (pass 0 for exact values).
+func MeasureIO(base IOMicrobench, ov vm.Overhead, noiseCV float64, seed int64) IOMicrobench {
+	rng := randx.Derive(seed, "tpcw/microbench")
+	n := func(v float64) float64 {
+		if noiseCV <= 0 {
+			return v
+		}
+		return rng.LognormalMeanCV(v, noiseCV)
+	}
+	return IOMicrobench{
+		NetworkTx: n(base.NetworkTx * ov.NetworkTxFactor),
+		NetworkRx: n(base.NetworkRx * ov.NetworkRxFactor),
+		DiskRead:  n(base.DiskRead * ov.DiskReadFactor),
+		DiskWrite: n(base.DiskWrite * ov.DiskWriteFactor),
+	}
+}
+
+// DegradationPercent returns how much slower (in percent) measurement m is
+// than the baseline b for each of the four rates, in Table 4 order.
+func DegradationPercent(b, m IOMicrobench) [4]float64 {
+	pct := func(base, meas float64) float64 {
+		if base == 0 {
+			return 0
+		}
+		return 100 * (base - meas) / base
+	}
+	return [4]float64{
+		pct(b.NetworkTx, m.NetworkTx),
+		pct(b.NetworkRx, m.NetworkRx),
+		pct(b.DiskRead, m.DiskRead),
+		pct(b.DiskWrite, m.DiskWrite),
+	}
+}

@@ -1,0 +1,184 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"spothost/internal/sim"
+)
+
+func newDaemon(t *testing.T, spec Spec) (*sim.Engine, *CheckpointDaemon) {
+	t.Helper()
+	eng := sim.NewEngine()
+	d, err := NewCheckpointDaemon(eng, spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, d
+}
+
+func TestDaemonValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewCheckpointDaemon(eng, Spec{}, DefaultParams()); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	p := DefaultParams()
+	p.CheckpointBound = 0
+	if _, err := NewCheckpointDaemon(eng, hostedVM, p); err == nil {
+		t.Fatal("zero bound accepted")
+	}
+}
+
+func TestDaemonLifecycleErrors(t *testing.T) {
+	_, d := newDaemon(t, hostedVM)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	d.Stop()
+	d.Stop() // idempotent
+	if err := d.Start(); err == nil {
+		t.Fatal("start after stop accepted")
+	}
+}
+
+// TestDaemonBoundHolds drives the daemon through hours of virtual time and
+// checks the Yank invariant at random instants: the final save always
+// completes within ~2x the bound (one in-flight write plus the exposed
+// increment).
+func TestDaemonBoundHolds(t *testing.T) {
+	eng, d := newDaemon(t, hostedVM)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	full := hostedVM.MemoryMB() / p.CheckpointWriteMBps
+	bound := float64(p.CheckpointBound)
+
+	violations := 0
+	checks := 0
+	// Sample after the initial full checkpoint has completed.
+	for i := 0; i < 500; i++ {
+		at := full + 1 + float64(i)*37.3
+		eng.Schedule(at, func() {
+			checks++
+			if d.FinalSaveTime() > 2*bound+1e-9 {
+				violations++
+			}
+		})
+	}
+	eng.RunUntil(6 * sim.Hour)
+	if checks != 500 {
+		t.Fatalf("only %d checks ran", checks)
+	}
+	if violations > 0 {
+		t.Fatalf("Yank bound violated at %d/%d instants", violations, checks)
+	}
+	st := d.Stats()
+	if st.FullCheckpoints != 1 {
+		t.Fatalf("full checkpoints = %d", st.FullCheckpoints)
+	}
+	if st.Incrementals < 100 {
+		t.Fatalf("too few incrementals: %d", st.Incrementals)
+	}
+}
+
+// TestDaemonWriteVolume: total bytes written over a window approximate the
+// dirty rate (the daemon only writes what was dirtied, plus the initial
+// full image).
+func TestDaemonWriteVolume(t *testing.T) {
+	eng, d := newDaemon(t, hostedVM)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	horizon := 4 * sim.Hour
+	eng.RunUntil(horizon)
+	st := d.Stats()
+	expected := hostedVM.MemoryMB() + hostedVM.DirtyRateMBps*horizon
+	if st.BytesWrittenMB < expected*0.8 || st.BytesWrittenMB > expected*1.05 {
+		t.Fatalf("bytes written %.0f MB, expected ~%.0f MB", st.BytesWrittenMB, expected)
+	}
+}
+
+func TestDaemonObserver(t *testing.T) {
+	eng, d := newDaemon(t, hostedVM)
+	var total float64
+	d.OnWrite(func(mb float64) { total += mb })
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(2 * sim.Hour)
+	if math.Abs(total-d.Stats().BytesWrittenMB) > 1e-9 {
+		t.Fatalf("observer saw %.1f MB, stats say %.1f MB", total, d.Stats().BytesWrittenMB)
+	}
+	if total <= hostedVM.MemoryMB() {
+		t.Fatalf("observer missed incrementals: %.1f", total)
+	}
+}
+
+func TestDaemonExposureBeforeStart(t *testing.T) {
+	_, d := newDaemon(t, hostedVM)
+	// Before the daemon runs, everything is exposed.
+	if got := d.ExposureMB(); got != hostedVM.MemoryMB() {
+		t.Fatalf("pre-start exposure = %v, want full memory", got)
+	}
+}
+
+func TestDaemonIdleVM(t *testing.T) {
+	idle := Spec{MemoryGB: 2, DirtyRateMBps: 0, Units: 1}
+	eng, d := newDaemon(t, idle)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(3 * sim.Hour)
+	st := d.Stats()
+	if st.FullCheckpoints != 1 || st.Incrementals != 0 {
+		t.Fatalf("idle VM should checkpoint once: %+v", st)
+	}
+	if d.ExposureMB() != 0 {
+		t.Fatalf("idle exposure = %v", d.ExposureMB())
+	}
+	if d.FinalSaveTime() != 0 {
+		t.Fatalf("idle final save = %v", d.FinalSaveTime())
+	}
+}
+
+func TestDaemonStopHaltsWrites(t *testing.T) {
+	eng, d := newDaemon(t, hostedVM)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Hour)
+	d.Stop()
+	before := d.Stats().BytesWrittenMB
+	eng.RunUntil(3 * sim.Hour)
+	if d.Stats().BytesWrittenMB != before {
+		t.Fatal("daemon kept writing after Stop")
+	}
+	// A stopped daemon protects nothing.
+	if d.ExposureMB() != hostedVM.MemoryMB() {
+		t.Fatalf("stopped exposure = %v", d.ExposureMB())
+	}
+}
+
+// TestDaemonIntervalMatchesAnalyticModel: the event-driven daemon's cycle
+// matches Params.CheckpointInterval.
+func TestDaemonIntervalMatchesAnalyticModel(t *testing.T) {
+	p := DefaultParams()
+	interval := p.CheckpointInterval(hostedVM)
+	eng, d := newDaemon(t, hostedVM)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	horizon := 5 * sim.Hour
+	eng.RunUntil(horizon)
+	st := d.Stats()
+	// After the initial full write, increments recur every interval (the
+	// write itself overlaps the next interval's accumulation).
+	expected := (horizon - hostedVM.MemoryMB()/p.CheckpointWriteMBps) / interval
+	if float64(st.Incrementals) < expected*0.9 || float64(st.Incrementals) > expected*1.1 {
+		t.Fatalf("incrementals = %d, expected ~%.0f", st.Incrementals, expected)
+	}
+}

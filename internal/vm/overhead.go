@@ -1,0 +1,54 @@
+package vm
+
+// Overhead models the nested-hypervisor performance overheads of Section 6:
+// I/O paths run at near-native speed through the Xen-Blanket layer, while
+// CPU-bound work can be substantially slower under load.
+//
+// Factors are multipliers on native performance: throughput factors apply
+// to I/O rates (1.0 = native), CPUFactor inflates CPU service demand
+// (1.0 = native, 1.5 = the paper's worst case of "up to 50% overhead").
+type Overhead struct {
+	NetworkTxFactor float64
+	NetworkRxFactor float64
+	DiskReadFactor  float64
+	DiskWriteFactor float64
+	CPUFactor       float64
+}
+
+// DefaultOverhead returns factors matching Table 4 and Fig. 12: network
+// throughput indistinguishable from native, disk I/O degraded ~2%, and
+// CPU service demand inflated by up to 50% for CPU-bound workloads.
+func DefaultOverhead() Overhead {
+	return Overhead{
+		NetworkTxFactor: 1.00,
+		NetworkRxFactor: 0.994,
+		DiskReadFactor:  0.977,
+		DiskWriteFactor: 0.978,
+		CPUFactor:       1.5,
+	}
+}
+
+// NativeOverhead returns the identity factors of an un-nested VM.
+func NativeOverhead() Overhead {
+	return Overhead{
+		NetworkTxFactor: 1, NetworkRxFactor: 1,
+		DiskReadFactor: 1, DiskWriteFactor: 1,
+		CPUFactor: 1,
+	}
+}
+
+// EffectiveCapacityFactor returns the fraction of native capacity a nested
+// VM delivers for a workload whose CPU share of total demand is cpuShare
+// (0 = pure I/O, 1 = pure CPU). Section 6 uses this to derive the
+// worst-case cost savings: halved capacity doubles the servers needed.
+func (o Overhead) EffectiveCapacityFactor(cpuShare float64) float64 {
+	if cpuShare < 0 {
+		cpuShare = 0
+	}
+	if cpuShare > 1 {
+		cpuShare = 1
+	}
+	io := (o.NetworkTxFactor + o.NetworkRxFactor + o.DiskReadFactor + o.DiskWriteFactor) / 4
+	cpu := 1 / o.CPUFactor
+	return cpuShare*cpu + (1-cpuShare)*io
+}
