@@ -11,6 +11,8 @@
 package spothost
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"spothost/internal/cloud"
@@ -275,6 +277,32 @@ func BenchmarkSchedulerMonth(b *testing.B) {
 			30*sim.Day, []int64{int64(i + 1)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunSeedsParallel measures the multi-seed fan-out at one worker
+// versus one worker per core: eight 10-day proactive runs per iteration,
+// with universes drawn from the shared market cache. On a multi-core
+// machine the NumCPU variant should approach a linear speedup, since the
+// per-seed simulations are independent and single-threaded.
+func BenchmarkRunSeedsParallel(b *testing.B) {
+	home := market.ID{Region: "us-east-1a", Type: "small"}
+	cfg, err := sched.DefaultConfig(home, market.DefaultTypes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcfg := market.DefaultConfig(0)
+	mcfg.Horizon = 10 * sim.Day
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.RunSeedsParallel(mcfg, cloud.DefaultParams(0), cfg,
+					10*sim.Day, seeds, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

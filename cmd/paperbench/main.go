@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperbench [-quick] [-only figure6] [-seeds 5] [-days 30]
+//	paperbench [-quick] [-only figure6] [-seeds 5] [-days 30] [-parallel 8]
 package main
 
 import (
@@ -13,6 +13,8 @@ import (
 	"path/filepath"
 
 	"spothost/internal/experiments"
+	"spothost/internal/market"
+	"spothost/internal/runpool"
 	"spothost/internal/sim"
 )
 
@@ -21,6 +23,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by name (e.g. figure6)")
 	seeds := flag.Int("seeds", 0, "override the number of seeds (1-16)")
 	days := flag.Float64("days", 0, "override the horizon in days")
+	parallel := flag.Int("parallel", 0, "worker count for (config, seed) cells; 0 means GOMAXPROCS")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	csvDir := flag.String("csv", "", "also write <experiment>.csv files into this directory")
 	flag.Parse()
@@ -46,6 +49,15 @@ func main() {
 		opts.Horizon = *days * sim.Day
 		opts.Market.Horizon = opts.Horizon
 	}
+	opts.Parallel = *parallel
+	if opts.Parallel <= 0 {
+		opts.Parallel = runpool.DefaultWorkers()
+	}
+	defer func() {
+		s := market.SharedCache().Stats()
+		fmt.Fprintf(os.Stderr, "market cache: %d hits, %d misses (%d universes)\n",
+			s.Hits, s.Misses, s.Universes)
+	}()
 
 	writeCSV := func(name string, res experiments.Renderer) {
 		if *csvDir == "" {

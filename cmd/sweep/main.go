@@ -20,6 +20,7 @@ import (
 	"spothost/internal/cloud"
 	"spothost/internal/market"
 	"spothost/internal/metrics"
+	"spothost/internal/runpool"
 	"spothost/internal/sched"
 	"spothost/internal/sim"
 	"spothost/internal/vm"
@@ -33,6 +34,7 @@ func main() {
 	days := flag.Float64("days", 30, "horizon in days")
 	seedsN := flag.Int("seeds", 3, "seeds to average over")
 	fleet := flag.Int("vms", 0, "fleet size for multi-market knobs (default 4 for hysteresis/lambda)")
+	parallel := flag.Int("parallel", 0, "worker count for (value, seed) cells; 0 means GOMAXPROCS")
 	flag.Parse()
 
 	values, err := parseValues(*valuesF, *knob)
@@ -49,17 +51,38 @@ func main() {
 	}
 	home := market.ID{Region: market.Region(*region), Type: market.InstanceType(*typeF)}
 
-	fmt.Printf("knob,value,normalized_cost,unavailability,forced_per_hr,voluntary_per_hr,migrations\n")
-	for _, v := range values {
+	// Flatten the sweep into independent (value, seed) simulation cells so
+	// one pool keeps every worker busy across the whole sweep; rows print
+	// in value order once all cells finish.
+	cfgs := make([]sched.Config, len(values))
+	for i, v := range values {
 		cfg, err := buildConfig(*knob, v, home, *fleet)
 		if err != nil {
 			fatal(err)
 		}
-		rs, err := sched.RunSeeds(mcfg, cloud.DefaultParams(0), cfg, *days*sim.Day, seeds)
+		cfgs[i] = cfg
+	}
+	ns := len(seeds)
+	cache := market.SharedCache()
+	cells := make([]int, len(values)*ns)
+	reports, err := runpool.Map(*parallel, cells, func(i, _ int) (metrics.Report, error) {
+		mc := mcfg
+		mc.Seed = seeds[i%ns]
+		set, err := cache.Generate(mc)
 		if err != nil {
-			fatal(err)
+			return metrics.Report{}, err
 		}
-		r := metrics.Average(rs)
+		cp := cloud.DefaultParams(0)
+		cp.Seed = seeds[i%ns]
+		return sched.Run(set, cp, cfgs[i/ns], *days*sim.Day)
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("knob,value,normalized_cost,unavailability,forced_per_hr,voluntary_per_hr,migrations\n")
+	for i, v := range values {
+		r := metrics.Average(reports[i*ns : (i+1)*ns])
 		fmt.Printf("%s,%g,%.5f,%.7f,%.5f,%.5f,%d\n",
 			*knob, v, r.NormalizedCost(), r.Unavailability(),
 			r.ForcedPerHour(), r.PlannedReversePerHour(), r.Migrations.Total())

@@ -104,7 +104,7 @@ func (p *Provider) scheduleNextPriceChange(id market.ID, after sim.Time) {
 	if !ok {
 		return
 	}
-	p.eng.Schedule(at, func() {
+	p.eng.Post(at, func() {
 		p.onPriceChange(id, price)
 		p.scheduleNextPriceChange(id, at)
 	})
@@ -161,7 +161,7 @@ func (p *Provider) RequestSpot(id market.ID, bid float64, cb Callbacks) (*Instan
 	p.spotRequests++
 	in := p.newInstance(id, Spot, bid, cb)
 	delay := p.rng.LognormalMeanCV(p.params.spotStartup(id.Region), p.params.StartupCV)
-	p.eng.After(delay, func() { p.finishAllocation(in) })
+	p.eng.PostAfter(delay, func() { p.finishAllocation(in) })
 	return in, nil
 }
 
@@ -173,7 +173,7 @@ func (p *Provider) RequestOnDemand(id market.ID, cb Callbacks) (*Instance, error
 	}
 	in := p.newInstance(id, OnDemand, 0, cb)
 	delay := p.rng.LognormalMeanCV(p.params.onDemandStartup(id.Region), p.params.StartupCV)
-	p.eng.After(delay, func() { p.finishAllocation(in) })
+	p.eng.PostAfter(delay, func() { p.finishAllocation(in) })
 	return in, nil
 }
 
@@ -262,7 +262,7 @@ func (p *Provider) beginRevocation(in *Instance) {
 	if in.cb.OnRevocationWarning != nil {
 		in.cb.OnRevocationWarning(in, in.warnDeadline)
 	}
-	p.eng.Schedule(in.warnDeadline, func() {
+	p.eng.Post(in.warnDeadline, func() {
 		if in.state == Revoking {
 			p.refundPartialHour(in)
 			p.terminate(in, ReasonRevoked)

@@ -65,7 +65,7 @@ func (p *Provider) AttachVolume(v *Volume, in *Instance, done func()) error {
 	}
 	v.attachedTo = in.id
 	if done != nil {
-		p.eng.After(p.params.VolumeAttach, done)
+		p.eng.PostAfter(p.params.VolumeAttach, done)
 	}
 	return nil
 }

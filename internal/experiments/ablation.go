@@ -27,7 +27,9 @@ type AblationResult struct {
 	Stability   []AblationPoint
 }
 
-// Ablations runs all four sweeps.
+// Ablations runs all four sweeps. The sweeps are independent simulations,
+// so all sixteen (knob, value) configs — and their seeds — fan out over
+// one worker pool.
 func Ablations(opts Options) (AblationResult, error) {
 	opts = opts.normalize()
 	var res AblationResult
@@ -36,65 +38,70 @@ func Ablations(opts Options) (AblationResult, error) {
 	// 1) Proactive bid multiple: higher bids should suppress forced
 	// migrations at essentially unchanged cost (spot hours bill at the
 	// market price, not the bid).
-	for _, k := range []float64{1.5, 2, 3, 4} {
+	// 2) Checkpoint bound tau: a looser bound means a longer final save
+	// and therefore longer forced-migration downtime.
+	// 3) Hysteresis on a multi-market fleet: low values chase noise
+	// (migration churn), high values leave savings on the table.
+	// 4) Stability penalty lambda on a volatile multi-region fleet (the
+	// paper's future work, Sec. 8): penalizing jumpy markets should trade
+	// a little cost for fewer migrations.
+	bidMultiples := []float64{1.5, 2, 3, 4}
+	taus := []float64{1, 3, 10, 30}
+	hysts := []float64{0, 0.05, 0.15, 0.4}
+	lambdas := []float64{0, 0.5, 1, 2}
+	both := append(marketsIn(opts, "us-east-1b"), marketsIn(opts, opts.Region)...)
+
+	var cfgs []sched.Config
+	for _, k := range bidMultiples {
 		cfg, err := singleMarketConfig(opts, home, sched.Proactive, vm.CKPTLazyLive)
 		if err != nil {
 			return res, err
 		}
 		cfg.BidMultiple = k
-		r, err := runPolicy(opts, cfg)
-		if err != nil {
-			return res, err
-		}
-		res.BidMultiple = append(res.BidMultiple, AblationPoint{Value: k, Report: r})
+		cfgs = append(cfgs, cfg)
 	}
-
-	// 2) Checkpoint bound tau: a looser bound means a longer final save
-	// and therefore longer forced-migration downtime.
-	for _, tau := range []float64{1, 3, 10, 30} {
+	for _, tau := range taus {
 		cfg, err := singleMarketConfig(opts, home, sched.Proactive, vm.CKPTLazyLive)
 		if err != nil {
 			return res, err
 		}
 		cfg.VMParams.CheckpointBound = tau
-		r, err := runPolicy(opts, cfg)
-		if err != nil {
-			return res, err
-		}
-		res.CkptBound = append(res.CkptBound, AblationPoint{Value: tau, Report: r})
+		cfgs = append(cfgs, cfg)
 	}
-
-	// 3) Hysteresis on a multi-market fleet: low values chase noise
-	// (migration churn), high values leave savings on the table.
-	for _, h := range []float64{0, 0.05, 0.15, 0.4} {
+	for _, h := range hysts {
 		cfg, err := fleetConfig(opts, home, marketsIn(opts, opts.Region), FleetVMs)
 		if err != nil {
 			return res, err
 		}
 		cfg.Hysteresis = h
-		r, err := runPolicy(opts, cfg)
-		if err != nil {
-			return res, err
-		}
-		res.Hysteresis = append(res.Hysteresis, AblationPoint{Value: h, Report: r})
+		cfgs = append(cfgs, cfg)
 	}
-
-	// 4) Stability penalty lambda on a volatile multi-region fleet (the
-	// paper's future work, Sec. 8): penalizing jumpy markets should trade
-	// a little cost for fewer migrations.
-	both := append(marketsIn(opts, "us-east-1b"), marketsIn(opts, opts.Region)...)
-	for _, lambda := range []float64{0, 0.5, 1, 2} {
+	for _, lambda := range lambdas {
 		cfg, err := fleetConfig(opts, home, both, FleetVMs)
 		if err != nil {
 			return res, err
 		}
 		cfg.StabilityPenalty = lambda
-		r, err := runPolicy(opts, cfg)
-		if err != nil {
-			return res, err
-		}
-		res.Stability = append(res.Stability, AblationPoint{Value: lambda, Report: r})
+		cfgs = append(cfgs, cfg)
 	}
+
+	reports, err := runPolicies(opts, cfgs)
+	if err != nil {
+		return res, err
+	}
+	next := 0
+	take := func(values []float64) []AblationPoint {
+		var pts []AblationPoint
+		for _, v := range values {
+			pts = append(pts, AblationPoint{Value: v, Report: reports[next]})
+			next++
+		}
+		return pts
+	}
+	res.BidMultiple = take(bidMultiples)
+	res.CkptBound = take(taus)
+	res.Hysteresis = take(hysts)
+	res.Stability = take(lambdas)
 	return res, nil
 }
 

@@ -5,18 +5,52 @@ import (
 
 	"spothost/internal/market"
 	"spothost/internal/metrics"
+	"spothost/internal/runpool"
 	"spothost/internal/sched"
 	"spothost/internal/vm"
 )
 
 // runPolicy executes one scheduler configuration across all option seeds
-// and returns the averaged report.
+// and returns the averaged report. Seeds run concurrently on the option
+// worker pool; universes come from the shared market cache.
 func runPolicy(opts Options, cfg sched.Config) (metrics.Report, error) {
-	rs, err := sched.RunSeeds(opts.Market, opts.Cloud, cfg, opts.Horizon, opts.Seeds)
+	rs, err := sched.RunSeedsParallel(opts.Market, opts.Cloud, cfg, opts.Horizon, opts.Seeds, opts.Parallel)
 	if err != nil {
 		return metrics.Report{}, err
 	}
 	return metrics.Average(rs), nil
+}
+
+// runPolicies executes several scheduler configurations across all option
+// seeds through one flat worker pool. Every (config, seed) cell is an
+// independent single-threaded simulation, so flattening them into a
+// single pool keeps all workers busy instead of draining one config's
+// seed batch at a time (and avoids nested pools multiplying workers).
+// Reports are averaged per config in seed order, exactly as running the
+// configs serially through runPolicy would.
+func runPolicies(opts Options, cfgs []sched.Config) ([]metrics.Report, error) {
+	ns := len(opts.Seeds)
+	cache := market.SharedCache()
+	cells := make([]int, len(cfgs)*ns)
+	reports, err := runpool.Map(opts.Parallel, cells, func(i, _ int) (metrics.Report, error) {
+		mc := opts.Market
+		mc.Seed = opts.Seeds[i%ns]
+		set, err := cache.Generate(mc)
+		if err != nil {
+			return metrics.Report{}, err
+		}
+		cp := opts.Cloud
+		cp.Seed = opts.Seeds[i%ns]
+		return sched.Run(set, cp, cfgs[i/ns], opts.Horizon)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]metrics.Report, len(cfgs))
+	for c := range cfgs {
+		out[c] = metrics.Average(reports[c*ns : (c+1)*ns])
+	}
+	return out, nil
 }
 
 // singleMarketConfig builds the Sec. 4.2 configuration: one VM sized to
@@ -46,29 +80,32 @@ type Figure6Result struct {
 	Rows   []Figure6Row
 }
 
-// Figure6 runs both policies over every instance size.
+// Figure6 runs both policies over every instance size. All
+// (size, policy, seed) cells fan out over one worker pool.
 func Figure6(opts Options) (Figure6Result, error) {
 	opts = opts.normalize()
 	res := Figure6Result{Region: opts.Region}
+	var cfgs []sched.Config
 	for _, ts := range opts.Market.Types {
 		home := market.ID{Region: opts.Region, Type: ts.Name}
-		row := Figure6Row{Type: ts.Name}
 		for _, b := range []sched.Bidding{sched.Reactive, sched.Proactive} {
 			cfg, err := singleMarketConfig(opts, home, b, vm.CKPTLazy)
 			if err != nil {
 				return res, err
 			}
-			r, err := runPolicy(opts, cfg)
-			if err != nil {
-				return res, err
-			}
-			if b == sched.Reactive {
-				row.Reactive = r
-			} else {
-				row.Proact = r
-			}
+			cfgs = append(cfgs, cfg)
 		}
-		res.Rows = append(res.Rows, row)
+	}
+	reports, err := runPolicies(opts, cfgs)
+	if err != nil {
+		return res, err
+	}
+	for i, ts := range opts.Market.Types {
+		res.Rows = append(res.Rows, Figure6Row{
+			Type:     ts.Name,
+			Reactive: reports[2*i],
+			Proact:   reports[2*i+1],
+		})
 	}
 	return res, nil
 }
@@ -110,13 +147,15 @@ type Figure7Result struct {
 	Cells  []Figure7Cell
 }
 
-// Figure7 runs the mechanism comparison.
+// Figure7 runs the mechanism comparison. The VM-parameter variants live
+// inside each scheduler config, so every (mechanism, params, seed) cell
+// fans out over one worker pool.
 func Figure7(opts Options) (Figure7Result, error) {
 	opts = opts.normalize()
 	home := market.ID{Region: opts.Region, Type: "small"}
 	res := Figure7Result{Region: opts.Region}
+	var cfgs []sched.Config
 	for _, mech := range vm.Mechanisms() {
-		cell := Figure7Cell{Mechanism: mech}
 		for _, pess := range []bool{false, true} {
 			o := opts
 			if pess {
@@ -126,17 +165,19 @@ func Figure7(opts Options) (Figure7Result, error) {
 			if err != nil {
 				return res, err
 			}
-			r, err := runPolicy(o, cfg)
-			if err != nil {
-				return res, err
-			}
-			if pess {
-				cell.Pessim = r
-			} else {
-				cell.Typical = r
-			}
+			cfgs = append(cfgs, cfg)
 		}
-		res.Cells = append(res.Cells, cell)
+	}
+	reports, err := runPolicies(opts, cfgs)
+	if err != nil {
+		return res, err
+	}
+	for i, mech := range vm.Mechanisms() {
+		res.Cells = append(res.Cells, Figure7Cell{
+			Mechanism: mech,
+			Typical:   reports[2*i],
+			Pessim:    reports[2*i+1],
+		})
 	}
 	return res, nil
 }
@@ -173,29 +214,32 @@ type Figure11Result struct {
 	Rows   []Figure11Row
 }
 
-// Figure11 runs the comparison per instance size.
+// Figure11 runs the comparison per instance size, fanning every
+// (size, policy, seed) cell over one worker pool.
 func Figure11(opts Options) (Figure11Result, error) {
 	opts = opts.normalize()
 	res := Figure11Result{Region: opts.Region}
+	var cfgs []sched.Config
 	for _, ts := range opts.Market.Types {
 		home := market.ID{Region: opts.Region, Type: ts.Name}
-		row := Figure11Row{Type: ts.Name}
 		for _, b := range []sched.Bidding{sched.Proactive, sched.PureSpot} {
 			cfg, err := singleMarketConfig(opts, home, b, vm.CKPTLazyLive)
 			if err != nil {
 				return res, err
 			}
-			r, err := runPolicy(opts, cfg)
-			if err != nil {
-				return res, err
-			}
-			if b == sched.Proactive {
-				row.Proact = r
-			} else {
-				row.PureSpot = r
-			}
+			cfgs = append(cfgs, cfg)
 		}
-		res.Rows = append(res.Rows, row)
+	}
+	reports, err := runPolicies(opts, cfgs)
+	if err != nil {
+		return res, err
+	}
+	for i, ts := range opts.Market.Types {
+		res.Rows = append(res.Rows, Figure11Row{
+			Type:     ts.Name,
+			Proact:   reports[2*i],
+			PureSpot: reports[2*i+1],
+		})
 	}
 	return res, nil
 }
@@ -235,25 +279,19 @@ func Table3(opts Options) (Table3Result, error) {
 	opts = opts.normalize()
 	home := market.ID{Region: opts.Region, Type: "small"}
 
-	run := func(b sched.Bidding) (metrics.Report, error) {
+	var cfgs []sched.Config
+	for _, b := range []sched.Bidding{sched.OnDemandOnly, sched.PureSpot, sched.Proactive} {
 		cfg, err := singleMarketConfig(opts, home, b, vm.CKPTLazyLive)
 		if err != nil {
-			return metrics.Report{}, err
+			return Table3Result{}, err
 		}
-		return runPolicy(opts, cfg)
+		cfgs = append(cfgs, cfg)
 	}
-	od, err := run(sched.OnDemandOnly)
+	reports, err := runPolicies(opts, cfgs)
 	if err != nil {
 		return Table3Result{}, err
 	}
-	pure, err := run(sched.PureSpot)
-	if err != nil {
-		return Table3Result{}, err
-	}
-	pro, err := run(sched.Proactive)
-	if err != nil {
-		return Table3Result{}, err
-	}
+	od, pure, pro := reports[0], reports[1], reports[2]
 	res := Table3Result{
 		OnDemandCost:   od.NormalizedCost(),
 		OnDemandAvail:  1 - od.Unavailability(),

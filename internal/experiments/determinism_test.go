@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// determinismOpts keeps the parallel-vs-serial comparison fast while still
+// exercising multi-seed, multi-config fan-out.
+func determinismOpts(workers int) Options {
+	o := Quick()
+	o.Seeds = []int64{7, 13}
+	o.Parallel = workers
+	return o
+}
+
+// workerCounts are the pool sizes compared against the serial baseline:
+// a small fixed pool, NumCPU, and an oversubscribed pool.
+func workerCounts() []int {
+	out := []int{2, 7}
+	if n := runtime.NumCPU(); n != 2 && n != 7 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// TestFigure6ParallelDeterminism asserts the rendered Figure 6 output is
+// byte-identical at any worker count: parallelism is strictly across
+// independent (config, seed) simulations, so the schedule of workers must
+// never leak into results.
+func TestFigure6ParallelDeterminism(t *testing.T) {
+	serial, err := Figure6(determinismOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Render()
+	for _, w := range workerCounts() {
+		par, err := Figure6(determinismOpts(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if got := par.Render(); got != want {
+			t.Fatalf("workers=%d: rendered output differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s", w, want, got)
+		}
+	}
+}
+
+// TestFigure8ParallelDeterminism does the same for the multi-market fleet
+// experiment, which additionally routes correlation universes through the
+// shared cache.
+func TestFigure8ParallelDeterminism(t *testing.T) {
+	serial, err := Figure8(determinismOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Render()
+	for _, w := range workerCounts() {
+		par, err := Figure8(determinismOpts(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if got := par.Render(); got != want {
+			t.Fatalf("workers=%d: rendered output differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s", w, want, got)
+		}
+	}
+}

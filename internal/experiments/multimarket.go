@@ -64,43 +64,46 @@ type Figure8Result struct {
 	Rows []Figure8Row
 }
 
-// Figure8 runs single- and multi-market fleets in every region.
+// Figure8 runs single- and multi-market fleets in every region. Every
+// (region, fleet, seed) cell fans out over one worker pool; the per-region
+// layout in the flattened config slice is the four single-market fleets
+// followed by the multi-market fleet.
 func Figure8(opts Options) (Figure8Result, error) {
 	opts = opts.normalize()
 	var res Figure8Result
+	var cfgs []sched.Config
+	perRegion := 0
 	for _, rs := range opts.Market.Regions {
 		home := market.ID{Region: rs.Name, Type: "small"}
 		all := marketsIn(opts, rs.Name)
-
-		var singles []metrics.Report
+		perRegion = len(all) + 1
 		for _, m := range all {
 			cfg, err := fleetConfig(opts, home, []market.ID{m}, FleetVMs)
 			if err != nil {
 				return res, err
 			}
-			r, err := runPolicy(opts, cfg)
-			if err != nil {
-				return res, err
-			}
-			singles = append(singles, r)
+			cfgs = append(cfgs, cfg)
 		}
 		cfg, err := fleetConfig(opts, home, all, FleetVMs)
 		if err != nil {
 			return res, err
 		}
-		multi, err := runPolicy(opts, cfg)
-		if err != nil {
-			return res, err
-		}
-
+		cfgs = append(cfgs, cfg)
+	}
+	reports, err := runPolicies(opts, cfgs)
+	if err != nil {
+		return res, err
+	}
+	for i, rs := range opts.Market.Regions {
+		group := reports[i*perRegion : (i+1)*perRegion]
 		corr, err := regionCorrelation(opts, rs.Name)
 		if err != nil {
 			return res, err
 		}
 		row := Figure8Row{
 			Region:      rs.Name,
-			AvgSingle:   metrics.Average(singles),
-			Multi:       multi,
+			AvgSingle:   metrics.Average(group[:perRegion-1]),
+			Multi:       group[perRegion-1],
 			Correlation: corr,
 		}
 		if s := row.AvgSingle.NormalizedCost(); s > 0 {
@@ -112,13 +115,15 @@ func Figure8(opts Options) (Figure8Result, error) {
 }
 
 // regionCorrelation averages the intra-region pairwise correlation over
-// the option seeds.
+// the option seeds. Universes come from the shared cache, so the fleet
+// runs that already generated them make these lookups free.
 func regionCorrelation(opts Options, r market.Region) (float64, error) {
+	cache := market.SharedCache()
 	sum := 0.0
 	for _, seed := range opts.Seeds {
 		mc := opts.Market
 		mc.Seed = seed
-		set, err := market.Generate(mc)
+		set, err := cache.Generate(mc)
 		if err != nil {
 			return 0, err
 		}
@@ -171,14 +176,21 @@ type Figure9Result struct {
 	Rows []Figure9Row
 }
 
-// Figure9 runs all region pairs.
+// Figure9 runs all region pairs. Every (pair, fleet, seed) cell fans out
+// over one worker pool; each pair contributes three configs to the
+// flattened slice — the two single-region fleets, then the multi-region
+// fleet.
 func Figure9(opts Options) (Figure9Result, error) {
 	opts = opts.normalize()
 	regions := opts.Market.Regions
 	var res Figure9Result
+	type pair struct{ a, b market.RegionSpec }
+	var pairs []pair
+	var cfgs []sched.Config
 	for i := 0; i < len(regions); i++ {
 		for j := i + 1; j < len(regions); j++ {
 			a, b := regions[i], regions[j]
+			pairs = append(pairs, pair{a, b})
 			// Baseline home: the pair's cheaper on-demand region.
 			homeRegion := a
 			if b.ODFactor < a.ODFactor {
@@ -186,51 +198,52 @@ func Figure9(opts Options) (Figure9Result, error) {
 			}
 			home := market.ID{Region: homeRegion.Name, Type: "small"}
 
-			var singles []metrics.Report
 			for _, reg := range []market.Region{a.Name, b.Name} {
 				cfg, err := fleetConfig(opts, home, marketsIn(opts, reg), FleetVMs)
 				if err != nil {
 					return res, err
 				}
-				r, err := runPolicy(opts, cfg)
-				if err != nil {
-					return res, err
-				}
-				singles = append(singles, r)
+				cfgs = append(cfgs, cfg)
 			}
 			both := append(marketsIn(opts, a.Name), marketsIn(opts, b.Name)...)
 			cfg, err := fleetConfig(opts, home, both, FleetVMs)
 			if err != nil {
 				return res, err
 			}
-			multi, err := runPolicy(opts, cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	reports, err := runPolicies(opts, cfgs)
+	if err != nil {
+		return res, err
+	}
+	cache := market.SharedCache()
+	for i, pr := range pairs {
+		a, b := pr.a, pr.b
+		group := reports[3*i : 3*i+3]
+
+		corr := 0.0
+		for _, seed := range opts.Seeds {
+			mc := opts.Market
+			mc.Seed = seed
+			set, err := cache.Generate(mc)
 			if err != nil {
 				return res, err
 			}
-
-			corr := 0.0
-			for _, seed := range opts.Seeds {
-				mc := opts.Market
-				mc.Seed = seed
-				set, err := market.Generate(mc)
-				if err != nil {
-					return res, err
-				}
-				corr += market.CrossRegionCorrelation(set, a.Name, b.Name)
-			}
-			corr /= float64(len(opts.Seeds))
-
-			row := Figure9Row{
-				A: a.Name, B: b.Name,
-				AvgSingle:   metrics.Average(singles),
-				Multi:       multi,
-				Correlation: corr,
-			}
-			if s := row.AvgSingle.NormalizedCost(); s > 0 {
-				row.Reduction = 1 - row.Multi.NormalizedCost()/s
-			}
-			res.Rows = append(res.Rows, row)
+			corr += market.CrossRegionCorrelation(set, a.Name, b.Name)
 		}
+		corr /= float64(len(opts.Seeds))
+
+		row := Figure9Row{
+			A: a.Name, B: b.Name,
+			AvgSingle:   metrics.Average(group[:2]),
+			Multi:       group[2],
+			Correlation: corr,
+		}
+		if s := row.AvgSingle.NormalizedCost(); s > 0 {
+			row.Reduction = 1 - row.Multi.NormalizedCost()/s
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }

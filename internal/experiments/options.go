@@ -33,6 +33,11 @@ type Options struct {
 	VM vm.Params
 	// Region is the default region for single-region figures.
 	Region market.Region
+	// Parallel is the worker count for the run pool; every (config, seed)
+	// simulation cell is independent, so experiments fan out across
+	// workers. Zero means GOMAXPROCS. Rendered output is byte-identical
+	// at any worker count.
+	Parallel int
 }
 
 // Defaults returns the full-fidelity options used by cmd/paperbench:

@@ -5,6 +5,7 @@ import (
 
 	"spothost/internal/market"
 	"spothost/internal/metrics"
+	"spothost/internal/runpool"
 	"spothost/internal/sched"
 	"spothost/internal/vm"
 )
@@ -26,60 +27,66 @@ type RobustnessResult struct {
 	Rows []RobustnessRow
 }
 
-// Robustness runs the three policies under three price regimes.
+// Robustness runs the three policies under three price regimes. Every
+// (policy, regime, seed) cell is an independent simulation, so they all
+// fan out over one flat worker pool; the shared market cache generates
+// each regime's universe once per seed instead of once per policy.
 func Robustness(opts Options) (RobustnessResult, error) {
 	opts = opts.normalize()
 	home := market.ID{Region: opts.Region, Type: "small"}
+	policies := []sched.Bidding{sched.Reactive, sched.Proactive, sched.PureSpot}
+	const regimes = 3 // banded, spiky, baseline
+	cache := market.SharedCache()
 
-	makeSets := func(seed int64) (banded, spiky, baseline *market.Set, err error) {
-		rcfg := market.DefaultReserveConfig(seed)
-		rcfg.Horizon = opts.Horizon
-		if banded, err = market.GenerateReserve(rcfg); err != nil {
-			return
+	generate := func(regime int, seed int64) (*market.Set, error) {
+		switch regime {
+		case 0, 1:
+			rcfg := market.DefaultReserveConfig(seed)
+			rcfg.Horizon = opts.Horizon
+			if regime == 1 {
+				rcfg.SpikesPerDay = 3
+			}
+			return cache.GenerateReserve(rcfg)
+		default:
+			mc := opts.Market
+			mc.Seed = seed
+			return cache.Generate(mc)
 		}
-		rcfg.SpikesPerDay = 3
-		if spiky, err = market.GenerateReserve(rcfg); err != nil {
-			return
-		}
-		mc := opts.Market
-		mc.Seed = seed
-		baseline, err = market.Generate(mc)
-		return
 	}
 
 	var res RobustnessResult
-	for _, b := range []sched.Bidding{sched.Reactive, sched.Proactive, sched.PureSpot} {
-		row := RobustnessRow{Policy: b}
-		var bandedRs, spikyRs, baseRs []metrics.Report
-		for _, seed := range opts.Seeds {
-			banded, spiky, baseline, err := makeSets(seed)
-			if err != nil {
-				return res, err
-			}
-			cfg, err := sched.DefaultConfig(home, opts.Market.Types)
-			if err != nil {
-				return res, err
-			}
-			cfg.Bidding = b
-			cfg.Mechanism = vm.CKPTLazyLive
-			cfg.VMParams = opts.VM
-			for _, run := range []struct {
-				set *market.Set
-				dst *[]metrics.Report
-			}{{banded, &bandedRs}, {spiky, &spikyRs}, {baseline, &baseRs}} {
-				cp := opts.Cloud
-				cp.Seed = seed
-				r, err := sched.Run(run.set, cp, cfg, opts.Horizon)
-				if err != nil {
-					return res, err
-				}
-				*run.dst = append(*run.dst, r)
-			}
+	ns := len(opts.Seeds)
+	cells := make([]int, len(policies)*regimes*ns)
+	reports, err := runpool.Map(opts.Parallel, cells, func(i, _ int) (metrics.Report, error) {
+		policy := policies[i/(regimes*ns)]
+		regime := (i / ns) % regimes
+		seed := opts.Seeds[i%ns]
+		set, err := generate(regime, seed)
+		if err != nil {
+			return metrics.Report{}, err
 		}
-		row.Banded = metrics.Average(bandedRs)
-		row.Spiky = metrics.Average(spikyRs)
-		row.Baseline = metrics.Average(baseRs)
-		res.Rows = append(res.Rows, row)
+		cfg, err := sched.DefaultConfig(home, opts.Market.Types)
+		if err != nil {
+			return metrics.Report{}, err
+		}
+		cfg.Bidding = policy
+		cfg.Mechanism = vm.CKPTLazyLive
+		cfg.VMParams = opts.VM
+		cp := opts.Cloud
+		cp.Seed = seed
+		return sched.Run(set, cp, cfg, opts.Horizon)
+	})
+	if err != nil {
+		return res, err
+	}
+	for p, b := range policies {
+		base := p * regimes * ns
+		res.Rows = append(res.Rows, RobustnessRow{
+			Policy:   b,
+			Banded:   metrics.Average(reports[base : base+ns]),
+			Spiky:    metrics.Average(reports[base+ns : base+2*ns]),
+			Baseline: metrics.Average(reports[base+2*ns : base+3*ns]),
+		})
 	}
 	return res, nil
 }

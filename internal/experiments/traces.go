@@ -29,7 +29,7 @@ func Figure1(opts Options) (Figure1Result, error) {
 	opts = opts.normalize()
 	mc := opts.Market
 	mc.Seed = opts.Seeds[0]
-	set, err := market.Generate(mc)
+	set, err := market.SharedCache().Generate(mc)
 	if err != nil {
 		return Figure1Result{}, err
 	}
@@ -107,10 +107,11 @@ func Figure10(opts Options) (Figure10Result, error) {
 	opts = opts.normalize()
 	res := Figure10Result{StdDev: map[market.Region]map[market.InstanceType]float64{}}
 	n := 0
+	cache := market.SharedCache()
 	for _, seed := range opts.Seeds {
 		mc := opts.Market
 		mc.Seed = seed
-		set, err := market.Generate(mc)
+		set, err := cache.Generate(mc)
 		if err != nil {
 			return Figure10Result{}, err
 		}

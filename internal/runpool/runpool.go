@@ -1,0 +1,134 @@
+// Package runpool provides a bounded worker pool for fanning independent
+// simulation runs out across CPU cores.
+//
+// The pool is built for the repo's evaluation workloads: every
+// (policy x market set x seed) cell is an independent, deterministic,
+// single-threaded simulation, so the only way to use more than one core is
+// to run many cells at once. The pool guarantees that parallel execution
+// is observationally identical to serial execution:
+//
+//   - results are collected in submission order, regardless of the order
+//     tasks finish in;
+//   - the error returned by Wait is the error of the lowest-submitted
+//     failing task (not whichever task happened to fail first on the
+//     clock), so error propagation is deterministic too;
+//   - a panic inside a task is recovered and surfaced as a *PanicError
+//     rather than tearing down the process from a worker goroutine.
+//
+// Tasks must be independent: they may not communicate with each other and
+// must not share mutable state (shared immutable state, such as a cached
+// market universe, is fine).
+package runpool
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// DefaultWorkers is the worker count used when a caller passes a
+// non-positive count: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// PanicError wraps a panic recovered from a pool task.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine
+}
+
+// Error describes the recovered panic.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("runpool: task panicked: %v\n%s", p.Value, p.Stack)
+}
+
+// Pool runs submitted tasks with at most `workers` in flight at once and
+// collects their results in submission order. The zero value is not
+// usable; construct with New. A Pool is single-use: Submit tasks, then
+// call Wait exactly once.
+type Pool[R any] struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu      sync.Mutex
+	results []R
+	errs    []error
+	waited  bool
+}
+
+// New returns a pool that keeps at most workers tasks in flight. A
+// non-positive count means DefaultWorkers.
+func New[R any](workers int) *Pool[R] {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Pool[R]{sem: make(chan struct{}, workers)}
+}
+
+// Submit queues fn for execution. Tasks begin running as workers free up;
+// Submit itself never blocks on task execution. Submitting after Wait
+// panics: the result slices have already been handed to the caller.
+func (p *Pool[R]) Submit(fn func() (R, error)) {
+	p.mu.Lock()
+	if p.waited {
+		p.mu.Unlock()
+		panic("runpool: Submit after Wait")
+	}
+	idx := len(p.results)
+	var zero R
+	p.results = append(p.results, zero)
+	p.errs = append(p.errs, nil)
+	p.mu.Unlock()
+
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		defer func() {
+			if v := recover(); v != nil {
+				var zero R
+				p.set(idx, zero, &PanicError{Value: v, Stack: debug.Stack()})
+			}
+		}()
+		r, err := fn()
+		p.set(idx, r, err)
+	}()
+}
+
+func (p *Pool[R]) set(idx int, r R, err error) {
+	p.mu.Lock()
+	p.results[idx] = r
+	p.errs[idx] = err
+	p.mu.Unlock()
+}
+
+// Wait blocks until every submitted task has finished and returns their
+// results in submission order. When tasks failed, Wait returns the error
+// of the lowest-submitted failure alongside the (partially meaningful)
+// results.
+func (p *Pool[R]) Wait() ([]R, error) {
+	p.wg.Wait()
+	p.mu.Lock()
+	p.waited = true
+	results, errs := p.results, p.errs
+	p.mu.Unlock()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Map runs fn over every item with at most workers tasks in flight
+// (workers <= 0 means DefaultWorkers) and returns the results in item
+// order. On failure it returns the error of the lowest-indexed failing
+// item, making the error deterministic across worker counts.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	p := New[R](workers)
+	for i, item := range items {
+		p.Submit(func() (R, error) { return fn(i, item) })
+	}
+	return p.Wait()
+}

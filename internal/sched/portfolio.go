@@ -110,12 +110,12 @@ func (p *Portfolio) Run(horizon sim.Duration) error {
 	for _, name := range p.names {
 		s := p.scheds[name]
 		if at := p.startAt[name]; at > 0 {
-			p.eng.Schedule(at, s.Start)
+			p.eng.Post(at, s.Start)
 		} else {
 			s.Start()
 		}
 		if at, ok := p.stopAt[name]; ok {
-			p.eng.Schedule(at, s.Stop)
+			p.eng.Post(at, s.Stop)
 		}
 	}
 	p.eng.RunUntil(horizon)

@@ -6,6 +6,7 @@ import (
 	"spothost/internal/cloud"
 	"spothost/internal/market"
 	"spothost/internal/metrics"
+	"spothost/internal/runpool"
 	"spothost/internal/sim"
 )
 
@@ -27,30 +28,38 @@ func Run(set *market.Set, cloudParams cloud.Params, cfg Config, horizon sim.Dura
 	return s.Report(), nil
 }
 
-// RunSeeds runs the same configuration against freshly generated synthetic
-// universes for each seed and returns the per-seed reports. The market
-// config's Seed field is overridden per run.
+// RunSeeds runs the same configuration against synthetic universes for
+// each seed and returns the per-seed reports in seed order. The market
+// config's Seed field is overridden per run. Runs execute in parallel
+// with one worker per CPU; results are identical to a serial run (see
+// RunSeedsParallel).
 func RunSeeds(mcfg market.Config, cloudParams cloud.Params, cfg Config,
 	horizon sim.Duration, seeds []int64) ([]metrics.Report, error) {
+	return RunSeedsParallel(mcfg, cloudParams, cfg, horizon, seeds, 0)
+}
+
+// RunSeedsParallel is RunSeeds with an explicit bound on the number of
+// runs in flight (workers <= 0 means one per CPU). Each run is an
+// independent single-threaded simulation; parallelism is strictly across
+// runs, results are collected in seed order, and universes come from the
+// process-wide market.SharedCache, so the reports are byte-identical for
+// any worker count.
+func RunSeedsParallel(mcfg market.Config, cloudParams cloud.Params, cfg Config,
+	horizon sim.Duration, seeds []int64, workers int) ([]metrics.Report, error) {
 
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("sched: no seeds")
 	}
-	var out []metrics.Report
-	for _, seed := range seeds {
+	cache := market.SharedCache()
+	return runpool.Map(workers, seeds, func(_ int, seed int64) (metrics.Report, error) {
 		mc := mcfg
 		mc.Seed = seed
-		set, err := market.Generate(mc)
+		set, err := cache.Generate(mc)
 		if err != nil {
-			return nil, err
+			return metrics.Report{}, err
 		}
 		cp := cloudParams
 		cp.Seed = seed
-		r, err := Run(set, cp, cfg, horizon)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+		return Run(set, cp, cfg, horizon)
+	})
 }

@@ -604,18 +604,18 @@ func (s *Scheduler) beginForcedMigration(deadline sim.Time) {
 	// Suspend at the last safe moment (bounded incremental save), or lose
 	// the memory state at termination.
 	if s.forcedMemLost {
-		s.eng.Schedule(deadline, func() {
+		s.eng.Post(deadline, func() {
 			s.down.MarkDown(s.eng.Now())
 			s.logEvent(EvSuspend, s.group, "terminated without checkpoint (memory lost)")
 			s.forcedImageDone = true // nothing to save; disk-only restart
 			s.maybeRestore()
 		})
 	} else {
-		s.eng.Schedule(deadline-tau, func() {
+		s.eng.Post(deadline-tau, func() {
 			s.down.MarkDown(s.eng.Now())
 			s.logEvent(EvSuspend, s.group, "suspended for final increment")
 		})
-		s.eng.Schedule(deadline, func() {
+		s.eng.Post(deadline, func() {
 			s.forcedImageDone = true
 			s.maybeRestore()
 		})
@@ -623,7 +623,7 @@ func (s *Scheduler) beginForcedMigration(deadline sim.Time) {
 
 	if s.cfg.Bidding == PureSpot {
 		// No on-demand fallback: enter the waiting state at termination.
-		s.eng.Schedule(deadline, func() {
+		s.eng.Post(deadline, func() {
 			s.phase = phaseWaiting
 			s.setPlacement(placedNone)
 			s.logEvent(EvWaiting, nil, "pure spot: waiting for the price to drop")
@@ -648,7 +648,7 @@ func (s *Scheduler) beginForcedMigration(deadline sim.Time) {
 	if s.cfg.VMParams.AcquireOverlap && !naive {
 		requestDest()
 	} else {
-		s.eng.Schedule(deadline, requestDest)
+		s.eng.Post(deadline, requestDest)
 	}
 }
 
@@ -703,7 +703,7 @@ func (s *Scheduler) maybeRestore() {
 	}
 	g := s.target
 	s.logEvent(EvRestore, g, fmt.Sprintf("restore started, %.0fs to resume", downtime))
-	s.eng.Schedule(now+downtime, func() {
+	s.eng.Post(now+downtime, func() {
 		if s.phase != phaseForced || s.target != g {
 			return
 		}
@@ -763,7 +763,7 @@ func (s *Scheduler) waitingReady(g *serverGroup) {
 		s.bootReady(g)
 		return
 	}
-	s.eng.Schedule(now+downtime, func() {
+	s.eng.Post(now+downtime, func() {
 		if s.group != g || g.abandoned || !g.alive() {
 			return // re-acquired server was lost again mid-restore
 		}

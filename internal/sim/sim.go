@@ -37,7 +37,8 @@ type Event struct {
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 once popped
+	pooled   bool // no external handle: recycle after firing
+	index    int  // heap index, -1 once popped
 }
 
 // At returns the virtual time the event fires at.
@@ -84,11 +85,49 @@ type Engine struct {
 	stopped bool
 	// processed counts events executed, exposed for tests and reports.
 	processed uint64
+	// free recycles Event structs of fired Post events. Only handle-less
+	// (pooled) events return here, so a recycled struct can never alias a
+	// *Event a caller still holds; both Schedule and Post draw from it.
+	free []*Event
 }
 
-// NewEngine returns an empty engine with its clock at 0.
+// freelistSeed is the number of Event structs preallocated per engine; the
+// hot loop's working set (in-flight fire-and-forget events) rarely exceeds
+// it, so steady-state Post traffic allocates nothing.
+const freelistSeed = 64
+
+// NewEngine returns an empty engine with its clock at 0 and a preallocated
+// event free-list.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	slab := make([]Event, freelistSeed)
+	e.free = make([]*Event, freelistSeed)
+	for i := range slab {
+		e.free[i] = &slab[i]
+	}
+	return e
+}
+
+// acquire returns an Event from the free list, or a fresh allocation when
+// the list is empty.
+func (e *Engine) acquire(at Time, fn func(), pooled bool) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	*ev = Event{at: at, seq: e.seq, fn: fn, pooled: pooled}
+	e.seq++
+	return ev
+}
+
+// release returns a pooled event's struct to the free list.
+func (e *Engine) release(ev *Event) {
+	*ev = Event{} // drop the fn closure so it can be collected
+	e.free = append(e.free, ev)
 }
 
 // Now returns the current virtual time.
@@ -105,21 +144,40 @@ func (e *Engine) Pending() int { return len(e.pending) }
 // (before Now) panics: it always indicates a model bug, and silently
 // clamping would hide it.
 func (e *Engine) Schedule(at Time, fn func()) *Event {
-	if math.IsNaN(at) {
-		panic("sim: Schedule at NaN")
-	}
-	if at < e.now {
-		panic(fmt.Sprintf("sim: Schedule at %v before now %v", at, e.now))
-	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.pending, ev)
+	ev := e.schedule(at, fn, false)
 	return ev
 }
 
 // After runs fn after delay d from the current time. Negative delays panic.
 func (e *Engine) After(d Duration, fn func()) *Event {
 	return e.Schedule(e.now+d, fn)
+}
+
+// Post runs fn at absolute virtual time at, like Schedule, but returns no
+// handle: the event cannot be canceled, and in exchange its Event struct
+// is recycled through the engine's free list after it fires. Hot loops
+// that never cancel (price steps, billing ticks, migration deadlines)
+// should Post rather than Schedule to avoid one allocation per event.
+func (e *Engine) Post(at Time, fn func()) {
+	e.schedule(at, fn, true)
+}
+
+// PostAfter runs fn after delay d from the current time, without a handle
+// (see Post). Negative delays panic.
+func (e *Engine) PostAfter(d Duration, fn func()) {
+	e.schedule(e.now+d, fn, true)
+}
+
+func (e *Engine) schedule(at Time, fn func(), pooled bool) *Event {
+	if math.IsNaN(at) {
+		panic("sim: Schedule at NaN")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: Schedule at %v before now %v", at, e.now))
+	}
+	ev := e.acquire(at, fn, pooled)
+	heap.Push(&e.pending, ev)
+	return ev
 }
 
 // Cancel prevents a scheduled event from firing. Canceling an event that
@@ -154,7 +212,14 @@ func (e *Engine) step(limit Time) bool {
 		heap.Pop(&e.pending)
 		e.now = next.at
 		e.processed++
-		next.fn()
+		fn := next.fn
+		if next.pooled {
+			// Nothing outside the engine references a pooled event, so its
+			// struct can be reused by the next acquire. Recycle before fn
+			// runs so an event scheduled by fn can claim it immediately.
+			e.release(next)
+		}
+		fn()
 		return true
 	}
 	return false

@@ -243,3 +243,62 @@ func TestDynamicScheduling(t *testing.T) {
 		t.Fatalf("clock = %v", e.Now())
 	}
 }
+
+func TestPostOrderingMatchesSchedule(t *testing.T) {
+	// Post and Schedule events at the same instant fire in submission
+	// order, regardless of which API scheduled them.
+	e := NewEngine()
+	var got []int
+	e.Post(10, func() { got = append(got, 0) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.PostAfter(10, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("wrong order: %v", got)
+	}
+}
+
+func TestPostChainRecyclesEvents(t *testing.T) {
+	// A long chain of posted events should recycle structs through the
+	// free list rather than growing it without bound.
+	e := NewEngine()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < 10000 {
+			e.PostAfter(1, step)
+		}
+	}
+	e.Post(0, step)
+	e.Run()
+	if n != 10000 {
+		t.Fatalf("chain length = %d", n)
+	}
+	// Only one pooled event is ever in flight, so the free list should
+	// hold no more than the preallocated slab.
+	if len(e.free) > freelistSeed {
+		t.Fatalf("free list grew to %d (seed %d)", len(e.free), freelistSeed)
+	}
+}
+
+func TestCancelUnaffectedByRecycling(t *testing.T) {
+	// Handles returned by Schedule must stay valid for Cancel even while
+	// pooled events are being recycled around them.
+	e := NewEngine()
+	fired := false
+	canceled := false
+	ev := e.Schedule(50, func() { canceled = true })
+	for i := 0; i < 100; i++ {
+		e.Post(Time(i), func() {})
+	}
+	e.Post(25, func() { e.Cancel(ev) })
+	e.Post(60, func() { fired = true })
+	e.Run()
+	if canceled {
+		t.Fatal("canceled event fired")
+	}
+	if !fired {
+		t.Fatal("later event did not fire")
+	}
+}

@@ -165,7 +165,7 @@ func (st *station) submit(r *request) {
 func (st *station) serveNext() {
 	r := st.queue[0]
 	st.queue = st.queue[1:]
-	st.eng.After(st.demand(r), func() {
+	st.eng.PostAfter(st.demand(r), func() {
 		st.done(r)
 		if len(st.queue) == 0 {
 			st.busy = false
@@ -249,12 +249,12 @@ func Run(cfg Config) (Result, error) {
 			completed++
 		}
 		// The EB thinks, then issues its next request.
-		eng.After(rng.Exp(cfg.ThinkTime), newRequest)
+		eng.PostAfter(rng.Exp(cfg.ThinkTime), newRequest)
 	}
 
 	// Launch the EBs with staggered initial thinks.
 	for i := 0; i < cfg.EBs; i++ {
-		eng.After(rng.Exp(cfg.ThinkTime), newRequest)
+		eng.PostAfter(rng.Exp(cfg.ThinkTime), newRequest)
 	}
 	eng.RunUntil(cfg.Duration)
 

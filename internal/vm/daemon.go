@@ -64,7 +64,7 @@ func (d *CheckpointDaemon) Start() error {
 	d.writing = true
 	d.lastStart = d.eng.Now()
 	full := d.spec.MemoryMB()
-	d.eng.After(full/d.p.CheckpointWriteMBps, func() {
+	d.eng.PostAfter(full/d.p.CheckpointWriteMBps, func() {
 		if d.stopped {
 			return
 		}
@@ -90,7 +90,7 @@ func (d *CheckpointDaemon) scheduleNext() {
 	if target <= now {
 		target = now
 	}
-	d.eng.Schedule(target, d.writeIncrement)
+	d.eng.Post(target, d.writeIncrement)
 }
 
 // writeIncrement persists everything dirtied since lastStart.
@@ -105,7 +105,7 @@ func (d *CheckpointDaemon) writeIncrement() {
 	}
 	d.writing = true
 	d.lastStart = now // pages dirtied from now on belong to the next increment
-	d.eng.After(dirtyMB/d.p.CheckpointWriteMBps, func() {
+	d.eng.PostAfter(dirtyMB/d.p.CheckpointWriteMBps, func() {
 		if d.stopped {
 			return
 		}
