@@ -7,10 +7,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"spothost/internal/experiments"
 	"spothost/internal/market"
@@ -53,6 +57,20 @@ func main() {
 	if opts.Parallel <= 0 {
 		opts.Parallel = runpool.DefaultWorkers()
 	}
+	// Ctrl-C (or SIGTERM) cancels every in-flight simulation cell and the
+	// run exits promptly instead of finishing the grid; a second signal
+	// kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.Context = ctx
+	fail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	defer func() {
 		s := market.SharedCache().Stats()
 		fmt.Fprintf(os.Stderr, "market cache: %d hits, %d misses (%d universes)\n",
@@ -87,8 +105,7 @@ func main() {
 		}
 		res, err := e.Run(opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Println(res.Render())
 		writeCSV(e.Name, res)
@@ -97,8 +114,7 @@ func main() {
 	for _, e := range experiments.All() {
 		res, err := e.Run(opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("=== %s ===\n%s\n", e.Name, res.Render())
 		writeCSV(e.Name, res)

@@ -1,17 +1,29 @@
 // Command spotserve exposes the spothost simulators over HTTP (see
 // internal/httpapi for the routes):
 //
-//	spotserve -addr :8080
+//	spotserve -addr :8080 -max-concurrent 2 -run-timeout 5m
 //	curl localhost:8080/v1/experiments
 //	curl -X POST localhost:8080/v1/experiments/figure7 -d '{"quick":true}'
 //	curl -X POST localhost:8080/v1/scenario -d @study.json
+//	curl localhost:8080/metrics
+//
+// The server is admission-controlled (-max-concurrent runs at once, 429
+// beyond that), bounds each run with -run-timeout, and shuts down
+// gracefully on SIGINT/SIGTERM: in-flight requests get -grace to finish
+// (their simulations are canceled through the request contexts when the
+// listener closes), then the process exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"spothost/internal/httpapi"
@@ -19,15 +31,51 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", httpapi.DefaultMaxConcurrent,
+		"maximum simulation runs executing at once; excess requests get 429")
+	runTimeout := flag.Duration("run-timeout", 10*time.Minute,
+		"per-run execution deadline (0 disables); exceeded runs are canceled and get 504")
+	grace := flag.Duration("grace", 15*time.Second,
+		"shutdown grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
+	logger := log.New(os.Stderr, "spotserve ", log.LstdFlags)
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: httpapi.Handler(),
+		Addr: *addr,
+		Handler: httpapi.New(httpapi.Config{
+			MaxConcurrent: *maxConcurrent,
+			RunTimeout:    *runTimeout,
+			Logger:        logger,
+		}),
 		// Experiments at full fidelity run for tens of seconds.
 		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 10 * time.Minute,
+		WriteTimeout: 15 * time.Minute,
+		IdleTimeout:  60 * time.Second,
 	}
-	fmt.Printf("spotserve listening on %s\n", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("spotserve listening on %s (max-concurrent=%d run-timeout=%s)\n",
+		*addr, *maxConcurrent, *runTimeout)
+
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	logger.Printf("signal received, draining for up to %s", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		_ = srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	logger.Printf("shutdown complete")
 }

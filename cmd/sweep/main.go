@@ -11,11 +11,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"spothost/internal/cloud"
 	"spothost/internal/market"
@@ -62,10 +66,13 @@ func main() {
 		}
 		cfgs[i] = cfg
 	}
+	// Ctrl-C (or SIGTERM) cancels every in-flight cell and exits promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	ns := len(seeds)
 	cache := market.SharedCache()
 	cells := make([]int, len(values)*ns)
-	reports, err := runpool.Map(*parallel, cells, func(i, _ int) (metrics.Report, error) {
+	reports, err := runpool.MapCtx(ctx, *parallel, cells, func(ctx context.Context, i, _ int) (metrics.Report, error) {
 		mc := mcfg
 		mc.Seed = seeds[i%ns]
 		set, err := cache.Generate(mc)
@@ -74,9 +81,13 @@ func main() {
 		}
 		cp := cloud.DefaultParams(0)
 		cp.Seed = seeds[i%ns]
-		return sched.Run(set, cp, cfgs[i/ns], *days*sim.Day)
+		return sched.RunCtx(ctx, set, cp, cfgs[i/ns], *days*sim.Day)
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"spothost/internal/market"
@@ -12,9 +13,11 @@ import (
 
 // runPolicy executes one scheduler configuration across all option seeds
 // and returns the averaged report. Seeds run concurrently on the option
-// worker pool; universes come from the shared market cache.
+// worker pool; universes come from the shared market cache. Canceling the
+// option context aborts every in-flight seed.
 func runPolicy(opts Options, cfg sched.Config) (metrics.Report, error) {
-	rs, err := sched.RunSeedsParallel(opts.Market, opts.Cloud, cfg, opts.Horizon, opts.Seeds, opts.Parallel)
+	rs, err := sched.RunSeedsParallelCtx(opts.Context, opts.Market, opts.Cloud, cfg,
+		opts.Horizon, opts.Seeds, opts.Parallel)
 	if err != nil {
 		return metrics.Report{}, err
 	}
@@ -32,7 +35,7 @@ func runPolicies(opts Options, cfgs []sched.Config) ([]metrics.Report, error) {
 	ns := len(opts.Seeds)
 	cache := market.SharedCache()
 	cells := make([]int, len(cfgs)*ns)
-	reports, err := runpool.Map(opts.Parallel, cells, func(i, _ int) (metrics.Report, error) {
+	reports, err := runpool.MapCtx(opts.Context, opts.Parallel, cells, func(ctx context.Context, i, _ int) (metrics.Report, error) {
 		mc := opts.Market
 		mc.Seed = opts.Seeds[i%ns]
 		set, err := cache.Generate(mc)
@@ -41,7 +44,7 @@ func runPolicies(opts Options, cfgs []sched.Config) ([]metrics.Report, error) {
 		}
 		cp := opts.Cloud
 		cp.Seed = opts.Seeds[i%ns]
-		return sched.Run(set, cp, cfgs[i/ns], opts.Horizon)
+		return sched.RunCtx(ctx, set, cp, cfgs[i/ns], opts.Horizon)
 	})
 	if err != nil {
 		return nil, err

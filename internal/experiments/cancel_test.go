@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"spothost/internal/sim"
+)
+
+// TestExperimentCanceledMidRun exercises the serving layer's abort path
+// end to end: a slow experiment whose Options.Context is canceled returns
+// promptly with context.Canceled instead of finishing its grid.
+func TestExperimentCanceledMidRun(t *testing.T) {
+	opts := Quick()
+	opts.Seeds = []int64{99} // unshared seed: cells must simulate, not hit the cache
+	opts.Horizon = 60 * sim.Day
+	opts.Market.Horizon = 60 * sim.Day
+	ctx, cancel := context.WithCancel(context.Background())
+	opts.Context = ctx
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Figure6(opts)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v after %v, want context.Canceled", err, elapsed)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("canceled experiment took %v to return", elapsed)
+	}
+}
+
+func TestExperimentPreCanceled(t *testing.T) {
+	opts := Quick()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts.Context = ctx
+	if _, err := Figure6(opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

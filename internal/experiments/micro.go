@@ -88,7 +88,9 @@ func Table1(opts Options) (Table1Result, error) {
 				})
 			}
 		}
-		eng.RunUntil(5 * sim.Day)
+		if err := eng.RunUntilCtx(opts.Context, 5*sim.Day); err != nil {
+			return Table1Result{}, err
+		}
 		for cls, a := range accs {
 			res.OnDemand[cls] = a.od.Mean()
 			res.Spot[cls] = a.spot.Mean()

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,6 +39,11 @@ type Options struct {
 	// workers. Zero means GOMAXPROCS. Rendered output is byte-identical
 	// at any worker count.
 	Parallel int
+	// Context, when set, bounds the experiment: canceling it aborts every
+	// in-flight simulation cell within one engine cancellation-poll batch
+	// and the experiment returns the context's error. Nil means
+	// context.Background() (run to completion).
+	Context context.Context
 }
 
 // Defaults returns the full-fidelity options used by cmd/paperbench:
@@ -87,6 +93,9 @@ func (o Options) normalize() Options {
 	}
 	if o.Region == "" {
 		o.Region = d.Region
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
 	}
 	return o
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"spothost/internal/market"
@@ -57,7 +58,7 @@ func Robustness(opts Options) (RobustnessResult, error) {
 	var res RobustnessResult
 	ns := len(opts.Seeds)
 	cells := make([]int, len(policies)*regimes*ns)
-	reports, err := runpool.Map(opts.Parallel, cells, func(i, _ int) (metrics.Report, error) {
+	reports, err := runpool.MapCtx(opts.Context, opts.Parallel, cells, func(ctx context.Context, i, _ int) (metrics.Report, error) {
 		policy := policies[i/(regimes*ns)]
 		regime := (i / ns) % regimes
 		seed := opts.Seeds[i%ns]
@@ -74,7 +75,7 @@ func Robustness(opts Options) (RobustnessResult, error) {
 		cfg.VMParams = opts.VM
 		cp := opts.Cloud
 		cp.Seed = seed
-		return sched.Run(set, cp, cfg, opts.Horizon)
+		return sched.RunCtx(ctx, set, cp, cfg, opts.Horizon)
 	})
 	if err != nil {
 		return res, err

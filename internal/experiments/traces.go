@@ -80,9 +80,12 @@ func (r Figure1Result) Render() string {
 
 	var b strings.Builder
 	b.WriteString(out)
-	for id, days := range r.Series {
+	// Iterate in Summaries order: ranging over the Series map would print
+	// the per-market blocks in a different order on every run.
+	for _, s := range r.Summaries {
+		id := s.Market
 		fmt.Fprintf(&b, "\n%s daily max price ($, * = spike day):\n", id)
-		for _, d := range days {
+		for _, d := range r.Series[id] {
 			marker := ""
 			if d.Max > 4*d.Mean && d.Max > 0.1 {
 				marker = " *"

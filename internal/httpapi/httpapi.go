@@ -3,31 +3,167 @@
 // code:
 //
 //	GET  /healthz               liveness
+//	GET  /metrics               serving + market-cache metrics (Prometheus text)
 //	GET  /v1/experiments        list the paper's tables/figures
 //	POST /v1/experiments/{name} run one experiment  {"quick": true, "seeds": 2, "days": 10}
 //	POST /v1/scenario           run a declarative portfolio scenario (internal/scenario schema)
 //
 // Responses are JSON; experiment responses carry both the rendered text
 // table and, where available, the CSV series.
+//
+// The serving layer is admission-controlled and cancelable: at most
+// Config.MaxConcurrent simulation runs execute at once (excess requests
+// get 429 with Retry-After), each run inherits the request's context
+// (bounded by Config.RunTimeout when set), and a client disconnect aborts
+// the underlying simulation within one engine cancellation-poll batch,
+// freeing its pool workers.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"spothost/internal/experiments"
+	"spothost/internal/market"
 	"spothost/internal/metrics"
 	"spothost/internal/scenario"
 	"spothost/internal/sim"
 )
 
+// Request-validation bounds, enforced with 400 responses rather than
+// silently falling back to defaults.
+const (
+	// MaxRequestSeeds caps the per-request seed count.
+	MaxRequestSeeds = 16
+	// MaxRequestDays caps the per-request horizon: 90 days is three times
+	// the paper's month-long traces and keeps a single request's work
+	// bounded.
+	MaxRequestDays = 90
+)
+
+// DefaultMaxConcurrent is the admission-control bound used when
+// Config.MaxConcurrent is unset. Each admitted run already fans its
+// (config, seed) cells out over every CPU, so a small number of
+// concurrent runs saturates the machine.
+const DefaultMaxConcurrent = 2
+
+// Config tunes the serving layer.
+type Config struct {
+	// MaxConcurrent bounds simultaneously executing experiment/scenario
+	// runs; requests beyond it receive 429 with a Retry-After header.
+	// Zero or negative means DefaultMaxConcurrent.
+	MaxConcurrent int
+	// RunTimeout bounds one run's execution; a run exceeding it is
+	// canceled and reported as 504. Zero means no server-side deadline
+	// (the client's disconnect still cancels).
+	RunTimeout time.Duration
+	// Logger receives one structured line per request and one per run
+	// outcome. Nil discards logs.
+	Logger *log.Logger
+}
+
+// Server is the API's handler: a mux wrapped with per-request logging,
+// run admission control, and serving metrics.
+type Server struct {
+	cfg     Config
+	logger  *log.Logger
+	sem     chan struct{}
+	serving metrics.Serving
+	mux     *http.ServeMux
+
+	// runExperiment is a seam for tests to substitute a controllable run.
+	runExperiment func(ctx context.Context, entry experiments.Entry, opts experiments.Options) (experiments.Renderer, error)
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	s := &Server{
+		cfg:    cfg,
+		logger: logger,
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		runExperiment: func(ctx context.Context, entry experiments.Entry, opts experiments.Options) (experiments.Renderer, error) {
+			opts.Context = ctx
+			return entry.Run(opts)
+		},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/experiments", s.handleList)
+	mux.HandleFunc("/v1/experiments/", s.handleExperiment)
+	mux.HandleFunc("/v1/scenario", s.handleScenario)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the API's http.Handler with default configuration.
+func Handler() http.Handler {
+	return New(Config{})
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP dispatches to the mux with per-request structured logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.logger.Printf("http method=%s path=%s status=%d dur=%s",
+		r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Millisecond))
+}
+
+// acquire claims an admission slot without blocking. It reports false —
+// and records the rejection — when MaxConcurrent runs are already in
+// flight.
+func (s *Server) acquire() bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		s.serving.Reject()
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// runCtx derives a run's context from the request: the client's context
+// (so a disconnect cancels the simulation) bounded by RunTimeout.
+func (s *Server) runCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RunTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RunTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
 // ExperimentRequest tunes one experiment run.
 type ExperimentRequest struct {
 	Quick bool    `json:"quick"`
-	Seeds int     `json:"seeds"` // 0 = default
-	Days  float64 `json:"days"`  // 0 = default
+	Seeds int     `json:"seeds"` // 0 = default; 1..MaxRequestSeeds
+	Days  float64 `json:"days"`  // 0 = default; up to MaxRequestDays
 }
 
 // ExperimentResponse is the run outcome.
@@ -66,16 +202,6 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// Handler returns the API's http.Handler.
-func Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", handleHealth)
-	mux.HandleFunc("/v1/experiments", handleList)
-	mux.HandleFunc("/v1/experiments/", handleExperiment)
-	mux.HandleFunc("/v1/scenario", handleScenario)
-	return mux
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -86,23 +212,83 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
-func handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+// writeRunError maps a run's failure to a response: cancellations caused
+// by the client's disconnect get 499 (the conventional "client closed
+// request" code — the write is usually moot, the connection is gone),
+// server-side deadline expiry gets 504, anything else 500.
+func writeRunError(w http.ResponseWriter, what string, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		writeError(w, 499, "%s canceled", what)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "%s exceeded the run timeout", what)
+	default:
+		writeError(w, http.StatusInternalServerError, "%s failed: %v", what, err)
+	}
 }
 
-func handleList(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	var names []string
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.serving.Snapshot().WritePrometheus(w, "spotserve")
+	cs := market.SharedCache().Stats()
+	fmt.Fprintf(w, "# HELP spotserve_market_cache_hits_total Universe lookups served from cache.\n"+
+		"# TYPE spotserve_market_cache_hits_total counter\nspotserve_market_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# HELP spotserve_market_cache_misses_total Universe lookups that had to generate.\n"+
+		"# TYPE spotserve_market_cache_misses_total counter\nspotserve_market_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# HELP spotserve_market_cache_universes Distinct universes resident in cache.\n"+
+		"# TYPE spotserve_market_cache_universes gauge\nspotserve_market_cache_universes %d\n", cs.Universes)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	names := []string{}
 	for _, e := range experiments.All() {
 		names = append(names, e.Name)
 	}
 	writeJSON(w, http.StatusOK, map[string][]string{"experiments": names})
 }
 
-func handleExperiment(w http.ResponseWriter, r *http.Request) {
+// decodeExperimentRequest parses and validates the request body. An empty
+// body means defaults; truncated or malformed JSON and out-of-range
+// fields are rejected.
+func decodeExperimentRequest(r *http.Request) (ExperimentRequest, error) {
+	var req ExperimentRequest
+	if r.Body == nil {
+		return req, nil
+	}
+	err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20)).Decode(&req)
+	switch {
+	case err == nil, errors.Is(err, io.EOF): // EOF: empty body = defaults
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		return req, fmt.Errorf("truncated JSON body")
+	default:
+		return req, fmt.Errorf("bad request body: %v", err)
+	}
+	if req.Seeds < 0 || req.Seeds > MaxRequestSeeds {
+		return req, fmt.Errorf("seeds must be between 0 and %d, got %d", MaxRequestSeeds, req.Seeds)
+	}
+	if req.Days < 0 || req.Days > MaxRequestDays {
+		return req, fmt.Errorf("days must be between 0 and %d, got %g", MaxRequestDays, req.Days)
+	}
+	return req, nil
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
@@ -113,19 +299,16 @@ func handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown experiment %q", name)
 		return
 	}
-	var req ExperimentRequest
-	if r.Body != nil {
-		dec := json.NewDecoder(r.Body)
-		if err := dec.Decode(&req); err != nil && err.Error() != "EOF" {
-			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-			return
-		}
+	req, err := decodeExperimentRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	opts := experiments.Defaults()
 	if req.Quick {
 		opts = experiments.Quick()
 	}
-	if req.Seeds > 0 && req.Seeds <= 16 {
+	if req.Seeds > 0 {
 		opts.Seeds = opts.Seeds[:0]
 		for i := 0; i < req.Seeds; i++ {
 			opts.Seeds = append(opts.Seeds, int64(11*(i+1)))
@@ -135,9 +318,25 @@ func handleExperiment(w http.ResponseWriter, r *http.Request) {
 		opts.Horizon = req.Days * sim.Day
 		opts.Market.Horizon = opts.Horizon
 	}
-	res, err := entry.Run(opts)
+
+	if !s.acquire() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"at most %d concurrent runs; retry shortly", s.cfg.MaxConcurrent)
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.runCtx(r)
+	defer cancel()
+
+	done := s.serving.Start()
+	start := time.Now()
+	res, err := s.runExperiment(ctx, entry, opts)
+	done(err)
+	s.logger.Printf("run experiment=%s dur=%s err=%v",
+		name, time.Since(start).Round(time.Millisecond), err)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "experiment failed: %v", err)
+		writeRunError(w, "experiment", err)
 		return
 	}
 	resp := ExperimentResponse{Name: name, Text: res.Render()}
@@ -147,12 +346,12 @@ func handleExperiment(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func handleScenario(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	sc, err := scenario.Load(r.Body)
+	sc, err := scenario.Load(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -162,9 +361,25 @@ func handleScenario(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "trace replay is not available over the API")
 		return
 	}
-	res, err := sc.Run()
+
+	if !s.acquire() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"at most %d concurrent runs; retry shortly", s.cfg.MaxConcurrent)
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.runCtx(r)
+	defer cancel()
+
+	done := s.serving.Start()
+	start := time.Now()
+	res, err := sc.RunCtx(ctx)
+	done(err)
+	s.logger.Printf("run scenario services=%d dur=%s err=%v",
+		len(sc.Services), time.Since(start).Round(time.Millisecond), err)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "scenario failed: %v", err)
+		writeRunError(w, "scenario", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toScenarioResponse(res))

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Serving tracks the HTTP serving layer's run lifecycle: how many
+// simulation runs were started, finished (and how), rejected at admission,
+// and how many are in flight right now, plus total run wall time. It is
+// the counter set behind spotserve's GET /metrics endpoint. All methods
+// are safe for concurrent use.
+type Serving struct {
+	mu         sync.Mutex
+	started    uint64
+	completed  uint64
+	canceled   uint64
+	failed     uint64
+	rejected   uint64
+	inFlight   int64
+	runSeconds float64
+}
+
+// Start records a run entering execution and returns the done callback to
+// invoke exactly once when it finishes. done classifies the outcome from
+// the run's error: nil counts as completed, context cancellation or
+// deadline expiry as canceled, anything else as failed; it also adds the
+// run's wall time to the duration total and decrements the in-flight
+// gauge.
+func (s *Serving) Start() (done func(err error)) {
+	s.mu.Lock()
+	s.started++
+	s.inFlight++
+	s.mu.Unlock()
+	begin := time.Now()
+	var once sync.Once
+	return func(err error) {
+		once.Do(func() {
+			d := time.Since(begin).Seconds()
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			s.inFlight--
+			s.runSeconds += d
+			switch {
+			case err == nil:
+				s.completed++
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				s.canceled++
+			default:
+				s.failed++
+			}
+		})
+	}
+}
+
+// Reject records a run turned away at admission (e.g. HTTP 429).
+func (s *Serving) Reject() {
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+}
+
+// ServingStats is a point-in-time snapshot of a Serving counter set.
+type ServingStats struct {
+	Started         uint64
+	Completed       uint64
+	Canceled        uint64
+	Failed          uint64
+	Rejected        uint64
+	InFlight        int64
+	RunSecondsTotal float64
+}
+
+// Snapshot returns a consistent snapshot of the counters.
+func (s *Serving) Snapshot() ServingStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServingStats{
+		Started:         s.started,
+		Completed:       s.completed,
+		Canceled:        s.canceled,
+		Failed:          s.failed,
+		Rejected:        s.rejected,
+		InFlight:        s.inFlight,
+		RunSecondsTotal: s.runSeconds,
+	}
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, with every metric name prefixed by prefix + "_".
+func (st ServingStats) WritePrometheus(w io.Writer, prefix string) {
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %v\n",
+			prefix, name, help, prefix, name, prefix, name, v)
+	}
+	counter("runs_started_total", "Simulation runs admitted for execution.", st.Started)
+	counter("runs_completed_total", "Runs that finished successfully.", st.Completed)
+	counter("runs_canceled_total", "Runs aborted by client cancel or deadline.", st.Canceled)
+	counter("runs_failed_total", "Runs that returned a non-cancellation error.", st.Failed)
+	counter("runs_rejected_total", "Runs refused at admission control (HTTP 429).", st.Rejected)
+	counter("run_seconds_total", "Total wall-clock seconds spent executing runs.", st.RunSecondsTotal)
+	fmt.Fprintf(w, "# HELP %s_runs_in_flight Runs currently executing.\n# TYPE %s_runs_in_flight gauge\n%s_runs_in_flight %d\n",
+		prefix, prefix, prefix, st.InFlight)
+}

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestServingLifecycle(t *testing.T) {
+	var s Serving
+	done := s.Start()
+	if st := s.Snapshot(); st.Started != 1 || st.InFlight != 1 {
+		t.Fatalf("after Start: %+v", st)
+	}
+	done(nil)
+	done(nil) // second call is a no-op
+	s.Start()(context.Canceled)
+	s.Start()(context.DeadlineExceeded)
+	s.Start()(errors.New("boom"))
+	s.Reject()
+	st := s.Snapshot()
+	if st.Started != 4 || st.Completed != 1 || st.Canceled != 2 || st.Failed != 1 ||
+		st.Rejected != 1 || st.InFlight != 0 {
+		t.Fatalf("snapshot: %+v", st)
+	}
+	if st.RunSecondsTotal < 0 {
+		t.Fatalf("negative run seconds: %v", st.RunSecondsTotal)
+	}
+}
+
+func TestServingWritePrometheus(t *testing.T) {
+	var s Serving
+	s.Start()(nil)
+	s.Reject()
+	var b strings.Builder
+	s.Snapshot().WritePrometheus(&b, "spotserve")
+	out := b.String()
+	for _, want := range []string{
+		"spotserve_runs_started_total 1",
+		"spotserve_runs_completed_total 1",
+		"spotserve_runs_canceled_total 0",
+		"spotserve_runs_failed_total 0",
+		"spotserve_runs_rejected_total 1",
+		"spotserve_runs_in_flight 0",
+		"# TYPE spotserve_runs_in_flight gauge",
+		"# TYPE spotserve_runs_started_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -18,6 +18,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -253,6 +254,13 @@ type Result struct {
 
 // Run executes the scenario end to end.
 func (sc Scenario) Run() (Result, error) {
+	return sc.RunCtx(context.Background())
+}
+
+// RunCtx is Run under a context: a cancel aborts the portfolio simulation
+// within one engine cancellation-poll batch and returns ctx's error, so a
+// serving layer can bound or abandon a scenario run.
+func (sc Scenario) RunCtx(ctx context.Context) (Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -277,7 +285,7 @@ func (sc Scenario) Run() (Result, error) {
 		}
 	}
 	horizon := sc.Days * sim.Day
-	if err := p.Run(horizon); err != nil {
+	if err := p.RunCtx(ctx, horizon); err != nil {
 		return Result{}, err
 	}
 

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -97,6 +98,13 @@ func (p *Portfolio) Services() []string {
 // Run starts every service and executes the simulation to the horizon
 // (clamped to the universe extent). It can only be called once.
 func (p *Portfolio) Run(horizon sim.Duration) error {
+	return p.RunCtx(context.Background(), horizon)
+}
+
+// RunCtx is Run under a context: the shared engine polls ctx while
+// executing, and a cancel aborts the whole portfolio within one
+// cancellation-poll batch, returning ctx's error.
+func (p *Portfolio) RunCtx(ctx context.Context, horizon sim.Duration) error {
 	if p.ran {
 		return fmt.Errorf("sched: portfolio already ran")
 	}
@@ -118,8 +126,7 @@ func (p *Portfolio) Run(horizon sim.Duration) error {
 			p.eng.Post(at, s.Stop)
 		}
 	}
-	p.eng.RunUntil(horizon)
-	return nil
+	return p.eng.RunUntilCtx(ctx, horizon)
 }
 
 // Report returns one service's report.

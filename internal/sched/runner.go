@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"spothost/internal/cloud"
@@ -14,6 +15,17 @@ import (
 // scheduler, runs the simulation to the horizon (clamped to the traces'
 // common extent), and returns the run report.
 func Run(set *market.Set, cloudParams cloud.Params, cfg Config, horizon sim.Duration) (metrics.Report, error) {
+	return RunCtx(context.Background(), set, cloudParams, cfg, horizon)
+}
+
+// RunCtx is Run under a context: the engine polls ctx every
+// sim.CancelPollInterval events and the run returns ctx's error as soon as
+// it is canceled, discarding the partial report. A canceled month-long
+// simulation aborts within one poll batch — milliseconds — rather than
+// running to its horizon.
+func RunCtx(ctx context.Context, set *market.Set, cloudParams cloud.Params,
+	cfg Config, horizon sim.Duration) (metrics.Report, error) {
+
 	if horizon <= 0 || horizon > set.Horizon() {
 		horizon = set.Horizon()
 	}
@@ -24,7 +36,9 @@ func Run(set *market.Set, cloudParams cloud.Params, cfg Config, horizon sim.Dura
 		return metrics.Report{}, err
 	}
 	s.Start()
-	eng.RunUntil(horizon)
+	if err := eng.RunUntilCtx(ctx, horizon); err != nil {
+		return metrics.Report{}, err
+	}
 	return s.Report(), nil
 }
 
@@ -46,12 +60,21 @@ func RunSeeds(mcfg market.Config, cloudParams cloud.Params, cfg Config,
 // any worker count.
 func RunSeedsParallel(mcfg market.Config, cloudParams cloud.Params, cfg Config,
 	horizon sim.Duration, seeds []int64, workers int) ([]metrics.Report, error) {
+	return RunSeedsParallelCtx(context.Background(), mcfg, cloudParams, cfg, horizon, seeds, workers)
+}
+
+// RunSeedsParallelCtx is RunSeedsParallel under a context: canceling ctx
+// (or any seed failing) cancels every in-flight seed simulation via
+// runpool.MapCtx, so the pool's workers free up promptly instead of
+// finishing their month-long runs.
+func RunSeedsParallelCtx(ctx context.Context, mcfg market.Config, cloudParams cloud.Params,
+	cfg Config, horizon sim.Duration, seeds []int64, workers int) ([]metrics.Report, error) {
 
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("sched: no seeds")
 	}
 	cache := market.SharedCache()
-	return runpool.Map(workers, seeds, func(_ int, seed int64) (metrics.Report, error) {
+	return runpool.MapCtx(ctx, workers, seeds, func(ctx context.Context, _ int, seed int64) (metrics.Report, error) {
 		mc := mcfg
 		mc.Seed = seed
 		set, err := cache.Generate(mc)
@@ -60,6 +83,6 @@ func RunSeedsParallel(mcfg market.Config, cloudParams cloud.Params, cfg Config,
 		}
 		cp := cloudParams
 		cp.Seed = seed
-		return Run(set, cp, cfg, horizon)
+		return RunCtx(ctx, set, cp, cfg, horizon)
 	})
 }

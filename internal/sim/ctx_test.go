@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// chain posts a self-perpetuating event every second, forever.
+func chain(e *Engine) {
+	var tick func()
+	tick = func() { e.PostAfter(Second, tick) }
+	e.PostAfter(Second, tick)
+}
+
+func TestRunUntilCtxCancelMidRun(t *testing.T) {
+	e := NewEngine()
+	chain(e)
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetCancelPollInterval(64)
+
+	// Cancel from inside an event handler: deterministic, no timers.
+	fired := false
+	e.Schedule(500, func() { fired = true; cancel() })
+
+	err := e.RunUntilCtx(ctx, 365*Day)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !fired {
+		t.Fatal("cancel event never fired")
+	}
+	// The engine must stop within one poll batch of the cancel, not run
+	// out the year-long horizon.
+	if e.Now() > 500+64+1 {
+		t.Fatalf("engine ran to %v after cancel at 500 (poll interval 64)", e.Now())
+	}
+	if e.Err() == nil {
+		t.Fatal("Err() lost the cancellation")
+	}
+}
+
+func TestRunUntilCtxPreCanceled(t *testing.T) {
+	e := NewEngine()
+	chain(e)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.RunUntilCtx(ctx, Day); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if e.Processed() != 0 {
+		t.Fatalf("processed %d events under a pre-canceled context", e.Processed())
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock advanced to %v despite cancellation", e.Now())
+	}
+}
+
+func TestRunUntilCtxBackgroundIdentical(t *testing.T) {
+	// A background context must not change behavior or results.
+	run := func(ctx context.Context) (Time, uint64) {
+		e := NewEngine()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 1000 {
+				e.PostAfter(Second, tick)
+			}
+		}
+		e.PostAfter(Second, tick)
+		if ctx == nil {
+			e.RunUntil(2000)
+		} else if err := e.RunUntilCtx(ctx, 2000); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), e.Processed()
+	}
+	plainNow, plainN := run(nil)
+	ctxNow, ctxN := run(context.Background())
+	if plainNow != ctxNow || plainN != ctxN {
+		t.Fatalf("background ctx changed the run: (%v,%d) vs (%v,%d)",
+			plainNow, plainN, ctxNow, ctxN)
+	}
+}
+
+func TestDeadlineExceededReported(t *testing.T) {
+	e := NewEngine()
+	chain(e)
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetContext(ctx)
+	e.SetCancelPollInterval(16)
+	e.Schedule(100, cancel)
+	e.RunUntil(Day)
+	if !errors.Is(e.Err(), context.Canceled) {
+		t.Fatalf("Err = %v", e.Err())
+	}
+	// Re-arming with a live context clears the recorded error.
+	e.SetContext(context.TODO())
+	if e.Err() != nil {
+		t.Fatalf("Err survived SetContext: %v", e.Err())
+	}
+}

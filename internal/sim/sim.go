@@ -13,6 +13,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 )
@@ -89,7 +90,21 @@ type Engine struct {
 	// (pooled) events return here, so a recycled struct can never alias a
 	// *Event a caller still holds; both Schedule and Post draw from it.
 	free []*Event
+	// ctx, when non-nil, is polled every pollEvery executed events; a
+	// canceled context halts the run loop and is reported by Err. Polling
+	// between events (never mid-event) keeps the event order — and hence
+	// the simulation's determinism — independent of when cancel arrives.
+	ctx       context.Context
+	ctxErr    error
+	pollEvery uint64
 }
+
+// CancelPollInterval is the default number of executed events between
+// context-cancellation polls. A month-long run executes hundreds of
+// thousands of events, so a canceled run aborts within a tiny fraction of
+// its remaining work (one "event batch") at a per-event cost too small to
+// measure.
+const CancelPollInterval = 1024
 
 // freelistSeed is the number of Event structs preallocated per engine; the
 // hot loop's working set (in-flight fire-and-forget events) rarely exceeds
@@ -197,6 +212,50 @@ func (e *Engine) Cancel(ev *Event) {
 // Stop halts Run/RunUntil after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetContext arms the engine's cancellation check: while ctx is live the
+// run loops poll ctx.Err() every CancelPollInterval executed events (see
+// SetCancelPollInterval) and halt when it is non-nil. A nil ctx disarms
+// the check. Setting a context clears any previously recorded Err.
+func (e *Engine) SetContext(ctx context.Context) {
+	if ctx == context.Background() || ctx == context.TODO() {
+		ctx = nil // never canceled: skip the poll entirely
+	}
+	e.ctx = ctx
+	e.ctxErr = nil
+	if e.pollEvery == 0 {
+		e.pollEvery = CancelPollInterval
+	}
+}
+
+// SetCancelPollInterval overrides how many events execute between context
+// polls (the "event batch" a canceled run may still execute). Non-positive
+// n restores CancelPollInterval.
+func (e *Engine) SetCancelPollInterval(n int) {
+	if n <= 0 {
+		e.pollEvery = CancelPollInterval
+		return
+	}
+	e.pollEvery = uint64(n)
+}
+
+// Err reports why the last run halted early: the context's error when the
+// run was canceled, nil otherwise (including after Stop).
+func (e *Engine) Err() error { return e.ctxErr }
+
+// canceled polls the armed context, recording its error and halting the
+// loop when it is done.
+func (e *Engine) canceled() bool {
+	if e.ctx == nil {
+		return false
+	}
+	if err := e.ctx.Err(); err != nil {
+		e.ctxErr = err
+		e.stopped = true
+		return true
+	}
+	return false
+}
+
 // step executes the earliest pending event. It reports false when the queue
 // is empty.
 func (e *Engine) step(limit Time) bool {
@@ -225,23 +284,56 @@ func (e *Engine) step(limit Time) bool {
 	return false
 }
 
-// Run executes events until the queue drains or Stop is called.
+// Run executes events until the queue drains, Stop is called, or the
+// context set via SetContext is canceled.
 func (e *Engine) Run() {
 	e.stopped = false
+	if e.canceled() {
+		return
+	}
+	mark := e.processed
 	for !e.stopped && e.step(math.Inf(1)) {
+		if e.ctx != nil && e.processed-mark >= e.pollEvery {
+			mark = e.processed
+			if e.canceled() {
+				return
+			}
+		}
 	}
 }
 
 // RunUntil executes events with timestamps <= horizon, then advances the
 // clock to exactly horizon. Events scheduled beyond the horizon remain
-// pending.
+// pending. A run halted by Stop or by context cancellation (see
+// SetContext; check Err) leaves the clock at the last executed event.
 func (e *Engine) RunUntil(horizon Time) {
 	e.stopped = false
+	if e.canceled() {
+		return
+	}
+	mark := e.processed
 	for !e.stopped && e.step(horizon) {
+		if e.ctx != nil && e.processed-mark >= e.pollEvery {
+			mark = e.processed
+			if e.canceled() {
+				return
+			}
+		}
 	}
 	if !e.stopped && horizon > e.now {
 		e.now = horizon
 	}
+}
+
+// RunUntilCtx runs like RunUntil under ctx and returns the context's error
+// when the run was canceled before reaching the horizon, nil otherwise. It
+// is the cancelable entry point the serving layer uses: a month-long
+// simulation aborts within one cancellation-poll batch of events (default
+// CancelPollInterval) after ctx is canceled.
+func (e *Engine) RunUntilCtx(ctx context.Context, horizon Time) error {
+	e.SetContext(ctx)
+	e.RunUntil(horizon)
+	return e.Err()
 }
 
 // Ticker invokes fn every period, starting at start, until the returned
