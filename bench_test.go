@@ -17,6 +17,7 @@ import (
 
 	"spothost/internal/cloud"
 	"spothost/internal/experiments"
+	"spothost/internal/fleet"
 	"spothost/internal/market"
 	"spothost/internal/sched"
 	"spothost/internal/sim"
@@ -278,6 +279,33 @@ func BenchmarkSchedulerMonth(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFleetMonth measures one 30-day diversified fleet run
+// end-to-end (autoscaling ticks, spot launches, revocation replacement,
+// billing) with a linear capacity model so the benchmark isolates the
+// controller rather than the TPC-W planner.
+func BenchmarkFleetMonth(b *testing.B) {
+	demand, err := fleet.NewDiurnalDemand(fleet.DefaultDiurnalConfig(30*sim.Day, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fleet.Config{
+		Strategy: fleet.Diversified{},
+		Demand:   demand,
+		Planner:  fleet.LinearPlanner{PerReplica: 6},
+	}
+	mcfg := market.DefaultConfig(0)
+	var lost int
+	for i := 0; i < b.N; i++ {
+		reps, err := fleet.RunSeeds(mcfg, cloud.DefaultParams(0), cfg,
+			30*sim.Day, []int64{int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lost += reps[0].ReplicasLost
+	}
+	b.ReportMetric(float64(lost)/float64(b.N), "replicas-lost/run")
 }
 
 // BenchmarkRunSeedsParallel measures the multi-seed fan-out at one worker

@@ -1,0 +1,142 @@
+// Command fleet runs the replicated-fleet experiment: an SLO-autoscaled
+// replica fleet spread across spot markets, comparing the three
+// allocation strategies (lowest-price, diversified, stability) on cost,
+// capacity shortfall and revocation blast radius.
+//
+// Usage:
+//
+//	fleet [-quick] [-seeds 5] [-days 30] [-parallel 8] [-json] [-csv out.csv]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"spothost/internal/experiments"
+	"spothost/internal/runpool"
+	"spothost/internal/sim"
+)
+
+// strategyJSON is one strategy's machine-readable outcome.
+type strategyJSON struct {
+	Strategy                string  `json:"strategy"`
+	NormalizedCost          float64 `json:"normalized_cost"`
+	CapacityShortfall       float64 `json:"capacity_shortfall"`
+	PeakTarget              int     `json:"peak_target"`
+	SpotFraction            float64 `json:"spot_fraction"`
+	OnDemandFallbacks       int     `json:"on_demand_fallbacks"`
+	ReverseReplacements     int     `json:"reverse_replacements"`
+	ReplicasLost            int     `json:"replicas_lost"`
+	WorstSimultaneousLoss   int     `json:"worst_simultaneous_loss"`
+	MeanMaxSimultaneousLoss float64 `json:"mean_max_simultaneous_loss"`
+	LossVariance            float64 `json:"loss_variance"`
+	LossEvents              int     `json:"loss_events"`
+}
+
+// outputJSON is the -json document.
+type outputJSON struct {
+	Days       float64        `json:"days"`
+	Seeds      []int64        `json:"seeds"`
+	Markets    []string       `json:"markets"`
+	WindowHrs  float64        `json:"loss_window_hours"`
+	Strategies []strategyJSON `json:"strategies"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced seeds and horizon for a fast smoke run")
+	seeds := flag.Int("seeds", 0, "override the number of seeds (1-16)")
+	days := flag.Float64("days", 0, "override the horizon in days")
+	parallel := flag.Int("parallel", 0, "worker count for (strategy, seed) cells; 0 means GOMAXPROCS")
+	asJSON := flag.Bool("json", false, "emit a machine-readable JSON document instead of the table")
+	csvPath := flag.String("csv", "", "also write the per-strategy CSV to this path")
+	flag.Parse()
+
+	opts := experiments.Defaults()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *seeds > 0 && *seeds <= 16 {
+		opts.Seeds = opts.Seeds[:0]
+		for i := 0; i < *seeds; i++ {
+			opts.Seeds = append(opts.Seeds, int64(11*(i+1)))
+		}
+	}
+	if *days > 0 {
+		opts.Horizon = *days * sim.Day
+		opts.Market.Horizon = opts.Horizon
+	}
+	opts.Parallel = *parallel
+	if opts.Parallel <= 0 {
+		opts.Parallel = runpool.DefaultWorkers()
+	}
+
+	// Ctrl-C (or SIGTERM) cancels every in-flight simulation cell; the
+	// run exits 130 instead of finishing the grid.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.Context = ctx
+
+	res, err := experiments.Fleet(opts)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(res.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+
+	if !*asJSON {
+		fmt.Println(res.Render())
+		return
+	}
+	out := outputJSON{
+		Days:      float64(opts.Horizon) / sim.Day,
+		Seeds:     opts.Seeds,
+		WindowHrs: float64(res.Window) / sim.Hour,
+	}
+	for _, id := range res.Markets {
+		out.Markets = append(out.Markets, id.String())
+	}
+	for _, row := range res.Rows {
+		m := row.Mean
+		spot := 0.0
+		if tot := m.SpotSeconds + m.OnDemandSeconds; tot > 0 {
+			spot = m.SpotSeconds / tot
+		}
+		out.Strategies = append(out.Strategies, strategyJSON{
+			Strategy:                row.Strategy,
+			NormalizedCost:          m.NormalizedCost(),
+			CapacityShortfall:       m.CapacityShortfall(),
+			PeakTarget:              m.PeakTarget,
+			SpotFraction:            spot,
+			OnDemandFallbacks:       m.OnDemandFallbacks,
+			ReverseReplacements:     m.ReverseReplacements,
+			ReplicasLost:            m.ReplicasLost,
+			WorstSimultaneousLoss:   row.WorstSimultaneousLoss,
+			MeanMaxSimultaneousLoss: row.MeanMaxSimultaneousLoss,
+			LossVariance:            row.LossVariance,
+			LossEvents:              row.LossEvents,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,11 @@
 //	sweep -knob tau -values 1,3,10,30 -days 30 -seeds 5
 //	sweep -knob hysteresis -values 0,0.05,0.15,0.4
 //	sweep -knob lambda -values 0,0.5,1,2
+//
+// It can also run any registered experiment (the same table cmd/paperbench
+// and the HTTP API serve) and print its CSV series:
+//
+//	sweep -experiment fleet -seeds 2 -days 10
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"syscall"
 
 	"spothost/internal/cloud"
+	"spothost/internal/experiments"
 	"spothost/internal/market"
 	"spothost/internal/metrics"
 	"spothost/internal/runpool"
@@ -39,7 +45,13 @@ func main() {
 	seedsN := flag.Int("seeds", 3, "seeds to average over")
 	fleet := flag.Int("vms", 0, "fleet size for multi-market knobs (default 4 for hysteresis/lambda)")
 	parallel := flag.Int("parallel", 0, "worker count for (value, seed) cells; 0 means GOMAXPROCS")
+	experiment := flag.String("experiment", "", "run a registered experiment by name instead of a knob sweep")
 	flag.Parse()
+
+	if *experiment != "" {
+		runExperiment(*experiment, *seedsN, *days, *parallel)
+		return
+	}
 
 	values, err := parseValues(*valuesF, *knob)
 	if err != nil {
@@ -98,6 +110,49 @@ func main() {
 			*knob, v, r.NormalizedCost(), r.Unavailability(),
 			r.ForcedPerHour(), r.PlannedReversePerHour(), r.Migrations.Total())
 	}
+}
+
+// runExperiment executes one entry from the experiments registry — the
+// same single table behind cmd/paperbench and the HTTP API, so a newly
+// registered experiment is immediately sweepable — and prints its CSV
+// series when it exports one, its rendered table otherwise.
+func runExperiment(name string, seedsN int, days float64, parallel int) {
+	entry, ok := experiments.Find(name)
+	if !ok {
+		var names []string
+		for _, e := range experiments.All() {
+			names = append(names, e.Name)
+		}
+		fatal(fmt.Errorf("unknown experiment %q; registered: %s", name, strings.Join(names, ", ")))
+	}
+	opts := experiments.Defaults()
+	if seedsN > 0 && seedsN <= 16 {
+		opts.Seeds = opts.Seeds[:0]
+		for i := 0; i < seedsN; i++ {
+			opts.Seeds = append(opts.Seeds, int64(23*(i+1)))
+		}
+	}
+	if days > 0 {
+		opts.Horizon = days * sim.Day
+		opts.Market.Horizon = opts.Horizon
+	}
+	opts.Parallel = parallel
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.Context = ctx
+	res, err := entry.Run(opts)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+	if exp, ok := res.(experiments.CSVExporter); ok {
+		fmt.Print(exp.CSV())
+		return
+	}
+	fmt.Println(res.Render())
 }
 
 // parseValues parses the -values list, with per-knob defaults.

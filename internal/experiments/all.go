@@ -35,6 +35,7 @@ func All() []Entry {
 		{"section6", func(o Options) (Renderer, error) { return Section6(o) }},
 		{"ablations", func(o Options) (Renderer, error) { return Ablations(o) }},
 		{"robustness", func(o Options) (Renderer, error) { return Robustness(o) }},
+		{"fleet", func(o Options) (Renderer, error) { return Fleet(o) }},
 	}
 }
 

@@ -45,6 +45,27 @@ func TestFigure6ParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestFleetParallelDeterminism asserts the rendered Fleet experiment
+// output is byte-identical at any worker count. Beyond the (strategy,
+// seed) fan-out this also exercises the shared capacity planner: its
+// memoized lookups must not leak pool scheduling into results.
+func TestFleetParallelDeterminism(t *testing.T) {
+	serial, err := Fleet(determinismOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Render()
+	for _, w := range workerCounts() {
+		par, err := Fleet(determinismOpts(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if got := par.Render(); got != want {
+			t.Fatalf("workers=%d: rendered output differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s", w, want, got)
+		}
+	}
+}
+
 // TestFigure8ParallelDeterminism does the same for the multi-market fleet
 // experiment, which additionally routes correlation universes through the
 // shared cache.

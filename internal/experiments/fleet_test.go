@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFleetClaims checks the headline claims of the fleet extension:
+// every strategy beats the all-on-demand baseline, and capping per-market
+// share (Diversified) shrinks both the worst simultaneous replica loss
+// and the loss variance relative to LowestPrice concentrating the fleet.
+func TestFleetClaims(t *testing.T) {
+	res, err := Fleet(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 strategies, got %d", len(res.Rows))
+	}
+	byName := map[string]FleetRow{}
+	for _, row := range res.Rows {
+		byName[row.Strategy] = row
+		if c := row.Mean.NormalizedCost(); c <= 0 || c >= 1 {
+			t.Errorf("%s: cost %.2f of baseline, want in (0, 1)", row.Strategy, c)
+		}
+		if s := row.Mean.CapacityShortfall(); s < 0 || s > 0.05 {
+			t.Errorf("%s: capacity shortfall %.4f, want under 5%%", row.Strategy, s)
+		}
+		if row.Mean.PeakTarget < 4 {
+			t.Errorf("%s: peak target %d, want a real fleet (>= 4)", row.Strategy, row.Mean.PeakTarget)
+		}
+	}
+	lp, div := byName["lowest-price"], byName["diversified"]
+	if lp.LossEvents == 0 {
+		t.Fatal("lowest-price saw no revocations; the comparison is vacuous")
+	}
+	if div.WorstSimultaneousLoss >= lp.WorstSimultaneousLoss {
+		t.Errorf("diversified worst simultaneous loss %d not below lowest-price %d",
+			div.WorstSimultaneousLoss, lp.WorstSimultaneousLoss)
+	}
+	if div.LossVariance >= lp.LossVariance {
+		t.Errorf("diversified loss variance %.2f not below lowest-price %.2f",
+			div.LossVariance, lp.LossVariance)
+	}
+}
+
+// TestFleetRegistered asserts the experiment is reachable through the
+// single registry every binary consumes.
+func TestFleetRegistered(t *testing.T) {
+	e, ok := Find("fleet")
+	if !ok {
+		t.Fatal("fleet experiment not in experiments.All()")
+	}
+	if e.Name != "fleet" {
+		t.Fatalf("registry returned %q", e.Name)
+	}
+}
+
+// TestFleetCSV checks the CSV export shape.
+func TestFleetCSV(t *testing.T) {
+	res, err := Fleet(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp CSVExporter = res
+	csv := exp.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 4 { // header + 3 strategies
+		t.Fatalf("want 4 CSV lines, got %d:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "strategy,cost,") {
+		t.Fatalf("unexpected header: %s", lines[0])
+	}
+}

@@ -1,0 +1,611 @@
+// Package fleet extends the paper's single-VM scheduler to the ROADMAP
+// north star: N replicas behind a load balancer. A Controller maintains a
+// demand-driven target replica count by spreading spot instances across
+// the markets of a market.Set (per an allocation Strategy), falling back
+// to on-demand capacity when no spot market is acceptable, and draining
+// on-demand replicas back onto spot once a cheap market recovers
+// (AutoSpotting-style reverse replacement). A mass revocation in one
+// market shows up as a partial capacity shortfall instead of the
+// single-VM binary up/down.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"spothost/internal/cloud"
+	"spothost/internal/forecast"
+	"spothost/internal/market"
+	"spothost/internal/sim"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultTick               = 5 * sim.Minute
+	DefaultBidMultiple        = 1.5
+	DefaultMaxReplicas        = 64
+	DefaultReverseHysteresis  = 0.15
+	DefaultMaxReversePerTick  = 1
+	DefaultVolatilityHalflife = 12 * sim.Hour
+)
+
+// Config parameterizes a fleet controller.
+type Config struct {
+	// Markets are the candidate spot markets. Empty means every market of
+	// the provider's set.
+	Markets []market.ID
+	// Strategy picks the spot market for each new replica.
+	Strategy Strategy
+	// Demand is the offered-load trace driving autoscaling.
+	Demand Demand
+	// Planner converts the load into a target replica count.
+	Planner Planner
+	// Tick is the autoscaling period. Zero means DefaultTick.
+	Tick sim.Duration
+	// BidMultiple sets each spot bid to BidMultiple x the market's
+	// on-demand price (clamped to the provider's bid cap). Zero means
+	// DefaultBidMultiple.
+	BidMultiple float64
+	// MinReplicas and MaxReplicas clamp the planner's target. Zeros mean
+	// 1 and DefaultMaxReplicas.
+	MinReplicas int
+	MaxReplicas int
+	// ReverseHysteresis is the discount a spot market must offer below an
+	// on-demand replica's price before the controller drains that replica
+	// onto spot. Zero means DefaultReverseHysteresis; negative disables
+	// reverse replacement.
+	ReverseHysteresis float64
+	// MaxReversePerTick bounds reverse replacements started per tick.
+	// Zero means DefaultMaxReversePerTick.
+	MaxReversePerTick int
+	// VolatilityHalflife is the decay half-life of the per-market price
+	// moments fed to strategies. Zero means DefaultVolatilityHalflife.
+	VolatilityHalflife sim.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Tick <= 0 {
+		cfg.Tick = DefaultTick
+	}
+	if cfg.BidMultiple <= 0 {
+		cfg.BidMultiple = DefaultBidMultiple
+	}
+	if cfg.MinReplicas <= 0 {
+		cfg.MinReplicas = 1
+	}
+	if cfg.MaxReplicas <= 0 {
+		cfg.MaxReplicas = DefaultMaxReplicas
+	}
+	if cfg.ReverseHysteresis == 0 {
+		cfg.ReverseHysteresis = DefaultReverseHysteresis
+	}
+	if cfg.MaxReversePerTick <= 0 {
+		cfg.MaxReversePerTick = DefaultMaxReversePerTick
+	}
+	if cfg.VolatilityHalflife <= 0 {
+		cfg.VolatilityHalflife = DefaultVolatilityHalflife
+	}
+	return cfg
+}
+
+// replica is one slot of the fleet: an instance plus its control state.
+type replica struct {
+	in   *cloud.Instance
+	spot bool
+	// doomed marks a spot replica that received a revocation warning; it
+	// still serves until the deadline but no longer counts as durable
+	// capacity, so a replacement launches immediately.
+	doomed bool
+	// replaces links a reverse-replacement spot replica to the on-demand
+	// replica it will retire once booted; draining marks that on-demand
+	// replica. A pending replacement does not count as capacity (its
+	// draining partner still serves).
+	replaces *replica
+	draining bool
+}
+
+// Controller is the fleet controller. All methods must be called from
+// inside the owning engine's event loop; construct with New and call
+// Start before running the engine.
+type Controller struct {
+	eng     *sim.Engine
+	prov    *cloud.Provider
+	cfg     Config
+	markets []market.ID // sorted by ID
+	moments map[market.ID]*forecast.DecayingMoments
+
+	started  bool
+	target   int
+	replicas []*replica // launch order == ascending instance ID
+
+	// Time-integrated accounting, advanced before every state change.
+	lastAccounted sim.Time
+	targetSecs    float64
+	servedSecs    float64
+	spotSecs      float64
+	odSecs        float64
+	marketSecs    map[market.ID]*MarketUsage
+
+	// Counters.
+	launches     int
+	spotLaunches int
+	odFallbacks  int
+	reverses     int
+	lost         int
+	neverGranted int
+	scaleDowns   int
+	peakTarget   int
+
+	lossAt     map[sim.Time]int
+	occupancy  []OccupancyPoint
+	lastSample sim.Time
+}
+
+// New validates the config and builds a controller over the provider.
+func New(prov *cloud.Provider, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	switch {
+	case cfg.Strategy == nil:
+		return nil, fmt.Errorf("fleet: nil strategy")
+	case cfg.Demand == nil:
+		return nil, fmt.Errorf("fleet: nil demand")
+	case cfg.Planner == nil:
+		return nil, fmt.Errorf("fleet: nil planner")
+	case cfg.MinReplicas > cfg.MaxReplicas:
+		return nil, fmt.Errorf("fleet: MinReplicas %d > MaxReplicas %d", cfg.MinReplicas, cfg.MaxReplicas)
+	}
+	ids := cfg.Markets
+	if len(ids) == 0 {
+		ids = prov.Markets().IDs()
+	}
+	sorted := append([]market.ID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].String() < sorted[j].String() })
+	for _, id := range sorted {
+		if prov.Markets().Trace(id) == nil {
+			return nil, fmt.Errorf("fleet: market %s not in set", id)
+		}
+	}
+	c := &Controller{
+		eng:        prov.Engine(),
+		prov:       prov,
+		cfg:        cfg,
+		markets:    sorted,
+		moments:    map[market.ID]*forecast.DecayingMoments{},
+		marketSecs: map[market.ID]*MarketUsage{},
+		lossAt:     map[sim.Time]int{},
+		lastSample: -sim.Hour,
+	}
+	for _, id := range sorted {
+		c.marketSecs[id] = &MarketUsage{}
+	}
+	return c, nil
+}
+
+// Start primes the price statistics, subscribes to price changes, runs
+// the first autoscaling tick at the current time and schedules the rest.
+func (c *Controller) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	now := c.eng.Now()
+	c.lastAccounted = now
+	for _, id := range c.markets {
+		id := id
+		dm := forecast.NewDecayingMoments(c.cfg.VolatilityHalflife)
+		dm.Observe(now, c.prov.SpotPrice(id))
+		c.moments[id] = dm
+		c.prov.SubscribePrice(id, func(t sim.Time, price float64) { dm.Observe(t, price) })
+	}
+	c.tick()
+}
+
+func (c *Controller) tick() {
+	now := c.eng.Now()
+	c.advance(now)
+	load := c.cfg.Demand.At(now)
+	target := c.cfg.Planner.Replicas(load)
+	if target < c.cfg.MinReplicas {
+		target = c.cfg.MinReplicas
+	}
+	if target > c.cfg.MaxReplicas {
+		target = c.cfg.MaxReplicas
+	}
+	c.target = target
+	if target > c.peakTarget {
+		c.peakTarget = target
+	}
+	c.reconcile()
+	c.reverseReplace()
+	c.sampleOccupancy(now)
+	c.eng.PostAfter(c.cfg.Tick, c.tick)
+}
+
+// bid returns the fleet's spot bid for a market: BidMultiple x on-demand,
+// clamped to the provider's cap.
+func (c *Controller) bid(id market.ID) float64 {
+	b := c.cfg.BidMultiple * c.prov.OnDemandPrice(id)
+	if max := c.prov.MaxBid(id); b > max {
+		b = max
+	}
+	return b
+}
+
+// capacityCount counts replicas the controller treats as durable serving
+// capacity: anything not warned of revocation and not a still-pending
+// reverse replacement (whose draining partner is counted instead).
+func (c *Controller) capacityCount() int {
+	n := 0
+	for _, r := range c.replicas {
+		if r.doomed || r.replaces != nil {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// spotInMarket counts in-flight spot replicas per market (pending or
+// alive, including doomed ones — they still occupy the market).
+func (c *Controller) spotInMarket() map[market.ID]int {
+	out := map[market.ID]int{}
+	for _, r := range c.replicas {
+		if r.spot {
+			out[r.in.Market()]++
+		}
+	}
+	return out
+}
+
+// candidates builds the strategy input: every configured market whose
+// current spot price the fleet's bid covers, sorted by market ID.
+func (c *Controller) candidates() []Candidate {
+	now := c.eng.Now()
+	occ := c.spotInMarket()
+	cands := make([]Candidate, 0, len(c.markets))
+	for _, id := range c.markets {
+		spot := c.prov.SpotPrice(id)
+		if spot > c.bid(id) {
+			continue
+		}
+		dm := c.moments[id]
+		cands = append(cands, Candidate{
+			ID:       id,
+			Spot:     spot,
+			OnDemand: c.prov.OnDemandPrice(id),
+			Mean:     dm.Mean(now),
+			Vol:      dm.Std(now),
+			Replicas: occ[id],
+		})
+	}
+	return cands
+}
+
+// cheapestOnDemand returns the configured market with the lowest
+// on-demand price (ties broken by ID order).
+func (c *Controller) cheapestOnDemand() market.ID {
+	best := c.markets[0]
+	for _, id := range c.markets[1:] {
+		if c.prov.OnDemandPrice(id) < c.prov.OnDemandPrice(best) {
+			best = id
+		}
+	}
+	return best
+}
+
+// reconcile launches replicas to cover a capacity deficit and retires
+// surplus ones. Launches prefer spot via the strategy; when no market is
+// acceptable (every one spiking above the bid) the replica falls back to
+// on-demand in the cheapest market.
+func (c *Controller) reconcile() {
+	for c.capacityCount() < c.target {
+		c.launch(nil)
+	}
+	if surplus := c.capacityCount() - c.target; surplus > 0 {
+		victims := c.surplusVictims(surplus)
+		for _, r := range victims {
+			c.scaleDowns++
+			c.retire(r)
+		}
+	}
+}
+
+// launch starts one replica. replaces, when non-nil, marks a reverse
+// replacement draining that on-demand replica.
+func (c *Controller) launch(replaces *replica) {
+	cands := c.candidates()
+	if len(cands) > 0 {
+		id, ok := c.cfg.Strategy.Pick(cands, c.target)
+		if ok {
+			r := &replica{spot: true, replaces: replaces}
+			in, err := c.prov.RequestSpot(id, c.bid(id), c.callbacks(r))
+			if err == nil {
+				r.in = in
+				c.launches++
+				c.replicas = append(c.replicas, r)
+				return
+			}
+		}
+	}
+	if replaces != nil {
+		// No spot market is acceptable: nothing to drain onto.
+		return
+	}
+	// Fall back to a non-revocable on-demand replica.
+	r := &replica{}
+	in, err := c.prov.RequestOnDemand(c.cheapestOnDemand(), c.callbacks(r))
+	if err != nil {
+		return // unreachable: markets were validated at construction
+	}
+	r.in = in
+	c.launches++
+	c.odFallbacks++
+	c.replicas = append(c.replicas, r)
+}
+
+// surplusVictims picks n counted replicas to retire on scale-down:
+// on-demand first (they cost full price), then the most expensive spot,
+// newest first on ties.
+func (c *Controller) surplusVictims(n int) []*replica {
+	var pool []*replica
+	for _, r := range c.replicas {
+		if r.doomed || r.replaces != nil {
+			continue
+		}
+		pool = append(pool, r)
+	}
+	price := func(r *replica) float64 {
+		if r.spot {
+			return c.prov.SpotPrice(r.in.Market())
+		}
+		return c.prov.OnDemandPrice(r.in.Market())
+	}
+	sort.SliceStable(pool, func(i, j int) bool {
+		a, b := pool[i], pool[j]
+		if a.spot != b.spot {
+			return !a.spot // on-demand first
+		}
+		pa, pb := price(a), price(b)
+		if pa != pb {
+			return pa > pb // most expensive first
+		}
+		return a.in.ID() > b.in.ID() // newest first
+	})
+	if n > len(pool) {
+		n = len(pool)
+	}
+	return pool[:n]
+}
+
+// retire terminates a replica the controller chose to drop, along with a
+// pending reverse replacement targeting it.
+func (c *Controller) retire(r *replica) {
+	for _, other := range c.replicas {
+		if other.replaces == r {
+			other.replaces = nil
+			c.terminate(other)
+		}
+	}
+	c.terminate(r)
+}
+
+// terminate releases the instance; removal from c.replicas happens in the
+// synchronous OnTerminated callback.
+func (c *Controller) terminate(r *replica) {
+	if r.in.State() == cloud.Terminated {
+		return
+	}
+	_ = c.prov.Terminate(r.in)
+}
+
+// reverseReplace drains up to MaxReversePerTick on-demand replicas whose
+// market a recovered spot market now undercuts by at least the hysteresis
+// margin: a spot replacement launches first, and the on-demand replica is
+// terminated only once the replacement boots.
+func (c *Controller) reverseReplace() {
+	if c.cfg.ReverseHysteresis < 0 {
+		return
+	}
+	started := 0
+	for _, r := range c.replicas {
+		if started >= c.cfg.MaxReversePerTick {
+			return
+		}
+		if r.spot || r.draining || r.doomed || !r.in.Alive() {
+			continue
+		}
+		cands := c.candidates()
+		if len(cands) == 0 {
+			return
+		}
+		id, ok := c.cfg.Strategy.Pick(cands, c.target)
+		if !ok {
+			return
+		}
+		var pick Candidate
+		for _, cand := range cands {
+			if cand.ID == id {
+				pick = cand
+				break
+			}
+		}
+		odPrice := c.prov.OnDemandPrice(r.in.Market())
+		if pick.Spot >= (1-c.cfg.ReverseHysteresis)*odPrice {
+			return // best spot offer not cheap enough yet
+		}
+		before := len(c.replicas)
+		c.launch(r)
+		if len(c.replicas) == before {
+			return // launch failed
+		}
+		r.draining = true
+		started++
+	}
+}
+
+func (c *Controller) callbacks(r *replica) cloud.Callbacks {
+	return cloud.Callbacks{
+		OnRunning:           func(*cloud.Instance) { c.onRunning(r) },
+		OnRevocationWarning: func(_ *cloud.Instance, _ sim.Time) { c.onWarning(r) },
+		OnTerminated:        func(_ *cloud.Instance, reason cloud.TerminationReason) { c.onTerminated(r, reason) },
+	}
+}
+
+func (c *Controller) onRunning(r *replica) {
+	c.advance(c.eng.Now())
+	if od := r.replaces; od != nil {
+		// The reverse replacement is up: retire the on-demand replica it
+		// was draining and promote the replacement to regular capacity.
+		r.replaces = nil
+		c.reverses++
+		c.terminate(od)
+	}
+	c.reconcile() // trim surplus if the target dropped while booting
+}
+
+func (c *Controller) onWarning(r *replica) {
+	c.advance(c.eng.Now())
+	r.doomed = true
+	// The replica serves until the grace deadline, but its capacity is
+	// lost: replace it now. The spiking market prices itself out of the
+	// candidate list, so the replacement lands elsewhere (or on-demand).
+	c.reconcile()
+}
+
+func (c *Controller) onTerminated(r *replica, reason cloud.TerminationReason) {
+	now := c.eng.Now()
+	c.advance(now)
+	c.remove(r)
+	switch reason {
+	case cloud.ReasonRevoked:
+		c.lost++
+		c.lossAt[now]++
+		c.reconcile()
+	case cloud.ReasonNeverGranted:
+		c.neverGranted++
+		if od := r.replaces; od != nil {
+			od.draining = false // drain aborted; the on-demand replica stays
+		} else {
+			c.reconcile()
+		}
+	case cloud.ReasonUser:
+		// Controller-initiated; bookkeeping only.
+	}
+}
+
+func (c *Controller) remove(r *replica) {
+	for i, other := range c.replicas {
+		if other == r {
+			c.replicas = append(c.replicas[:i], c.replicas[i+1:]...)
+			return
+		}
+	}
+}
+
+// advance integrates the capacity and occupancy accounting up to now.
+// It must run before every state change (tick, boot, warning,
+// termination) so each interval is credited under the state that held.
+func (c *Controller) advance(now sim.Time) {
+	dt := float64(now - c.lastAccounted)
+	if dt <= 0 {
+		return
+	}
+	c.lastAccounted = now
+	alive := 0
+	for _, r := range c.replicas {
+		if !r.in.Alive() {
+			continue
+		}
+		alive++
+		u := c.marketSecs[r.in.Market()]
+		if r.spot {
+			c.spotSecs += dt
+			u.SpotSeconds += dt
+		} else {
+			c.odSecs += dt
+			u.OnDemandSeconds += dt
+		}
+	}
+	c.targetSecs += float64(c.target) * dt
+	served := alive
+	if served > c.target {
+		served = c.target
+	}
+	c.servedSecs += float64(served) * dt
+}
+
+// sampleOccupancy appends an occupancy snapshot at most once per hour.
+func (c *Controller) sampleOccupancy(now sim.Time) {
+	if now-c.lastSample < sim.Hour {
+		return
+	}
+	c.lastSample = now
+	pt := OccupancyPoint{At: now, Spot: map[market.ID]int{}}
+	for _, r := range c.replicas {
+		if !r.in.Alive() {
+			continue
+		}
+		if r.spot {
+			pt.Spot[r.in.Market()]++
+		} else {
+			pt.OnDemand++
+		}
+	}
+	c.occupancy = append(c.occupancy, pt)
+}
+
+// Target returns the current replica target.
+func (c *Controller) Target() int { return c.target }
+
+// Alive returns the number of currently serving replicas.
+func (c *Controller) Alive() int {
+	n := 0
+	for _, r := range c.replicas {
+		if r.in.Alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// Report finalizes the accounting as of the engine's current time and
+// returns the run report.
+func (c *Controller) Report() Report {
+	now := c.eng.Now()
+	c.advance(now)
+	rep := Report{
+		Strategy:             c.cfg.Strategy.Name(),
+		Horizon:              sim.Duration(now),
+		TargetReplicaSeconds: c.targetSecs,
+		ServedReplicaSeconds: c.servedSecs,
+		PeakTarget:           c.peakTarget,
+		Cost:                 c.prov.Ledger().Total(),
+		SpotSeconds:          c.spotSecs,
+		OnDemandSeconds:      c.odSecs,
+		Launches:             c.launches,
+		SpotLaunches:         c.launches - c.odFallbacks,
+		OnDemandFallbacks:    c.odFallbacks,
+		ReverseReplacements:  c.reverses,
+		ReplicasLost:         c.lost,
+		NeverGranted:         c.neverGranted,
+		ScaleDowns:           c.scaleDowns,
+		Occupancy:            c.occupancy,
+		MarketSeconds:        map[market.ID]MarketUsage{},
+	}
+	// All-on-demand baseline: serving the full target from the cheapest
+	// on-demand market, billed continuously.
+	odRate := c.prov.OnDemandPrice(c.cheapestOnDemand())
+	rep.BaselineCost = c.targetSecs / float64(sim.Hour) * odRate
+	for id, u := range c.marketSecs {
+		rep.MarketSeconds[id] = *u
+	}
+	times := make([]sim.Time, 0, len(c.lossAt))
+	for t := range c.lossAt {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, t := range times {
+		rep.LossEvents = append(rep.LossEvents, LossEvent{At: t, Lost: c.lossAt[t]})
+	}
+	return rep
+}

@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"spothost/internal/cloud"
+	"spothost/internal/market"
+	"spothost/internal/runpool"
+	"spothost/internal/sim"
+)
+
+// Run wires up an engine, a provider over the price set and a fleet
+// controller, runs to the horizon (clamped to the traces' extent) and
+// returns the fleet report.
+func Run(set *market.Set, cloudParams cloud.Params, cfg Config, horizon sim.Duration) (Report, error) {
+	return RunCtx(context.Background(), set, cloudParams, cfg, horizon)
+}
+
+// RunCtx is Run under a context: the engine polls ctx every
+// sim.CancelPollInterval events and the run returns ctx's error as soon
+// as it is canceled, discarding the partial report.
+func RunCtx(ctx context.Context, set *market.Set, cloudParams cloud.Params,
+	cfg Config, horizon sim.Duration) (Report, error) {
+
+	if horizon <= 0 || horizon > set.Horizon() {
+		horizon = set.Horizon()
+	}
+	eng := sim.NewEngine()
+	prov := cloud.NewProvider(eng, set, cloudParams)
+	c, err := New(prov, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	c.Start()
+	if err := eng.RunUntilCtx(ctx, horizon); err != nil {
+		return Report{}, err
+	}
+	rep := c.Report()
+	rep.Seed = cloudParams.Seed
+	return rep, nil
+}
+
+// RunSeeds runs the same fleet configuration against synthetic universes
+// for each seed and returns the per-seed reports in seed order, one
+// worker per CPU (see RunSeedsParallelCtx).
+func RunSeeds(mcfg market.Config, cloudParams cloud.Params, cfg Config,
+	horizon sim.Duration, seeds []int64) ([]Report, error) {
+	return RunSeedsParallelCtx(context.Background(), mcfg, cloudParams, cfg, horizon, seeds, 0)
+}
+
+// RunSeedsParallelCtx fans the seeds over a bounded runpool (workers <= 0
+// means one per CPU). Each run is an independent single-threaded
+// simulation; universes come from the process-wide market.SharedCache and
+// results are collected in seed order, so the reports are byte-identical
+// for any worker count. Canceling ctx (or any seed failing) cancels every
+// in-flight simulation.
+func RunSeedsParallelCtx(ctx context.Context, mcfg market.Config, cloudParams cloud.Params,
+	cfg Config, horizon sim.Duration, seeds []int64, workers int) ([]Report, error) {
+
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("fleet: no seeds")
+	}
+	cache := market.SharedCache()
+	return runpool.MapCtx(ctx, workers, seeds, func(ctx context.Context, _ int, seed int64) (Report, error) {
+		mc := mcfg
+		mc.Seed = seed
+		set, err := cache.Generate(mc)
+		if err != nil {
+			return Report{}, err
+		}
+		cp := cloudParams
+		cp.Seed = seed
+		return RunCtx(ctx, set, cp, cfg, horizon)
+	})
+}

@@ -6,7 +6,7 @@
 //	GET  /metrics               serving + market-cache metrics (Prometheus text)
 //	GET  /v1/experiments        list the paper's tables/figures
 //	POST /v1/experiments/{name} run one experiment  {"quick": true, "seeds": 2, "days": 10}
-//	POST /v1/scenario           run a declarative portfolio scenario (internal/scenario schema)
+//	POST /v1/scenario           run a declarative scenario: services and/or fleets (internal/scenario schema)
 //
 // Responses are JSON; experiment responses carry both the rendered text
 // table and, where available, the CSV series.
@@ -188,9 +188,25 @@ type ServiceResponse struct {
 	WorthIt        *bool   `json:"worth_it,omitempty"`
 }
 
+// FleetResponse serializes one scenario fleet outcome.
+type FleetResponse struct {
+	Name                string  `json:"name"`
+	Strategy            string  `json:"strategy"`
+	NormalizedCost      float64 `json:"normalized_cost"`
+	Cost                float64 `json:"cost"`
+	BaselineCost        float64 `json:"baseline_cost"`
+	CapacityShortfall   float64 `json:"capacity_shortfall"`
+	PeakTarget          int     `json:"peak_target"`
+	ReplicasLost        int     `json:"replicas_lost"`
+	MaxSimultaneousLoss int     `json:"max_simultaneous_loss"`
+	OnDemandFallbacks   int     `json:"on_demand_fallbacks"`
+	ReverseReplacements int     `json:"reverse_replacements"`
+}
+
 // ScenarioResponse is the portfolio outcome.
 type ScenarioResponse struct {
 	Services       []ServiceResponse `json:"services"`
+	Fleets         []FleetResponse   `json:"fleets,omitempty"`
 	TotalCost      float64           `json:"total_cost"`
 	NormalizedCost float64           `json:"normalized_cost"`
 	WorstService   string            `json:"worst_service"`
@@ -329,7 +345,11 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.runCtx(r)
 	defer cancel()
 
-	done := s.serving.Start()
+	kind := "experiment"
+	if name == "fleet" {
+		kind = "fleet"
+	}
+	done := s.serving.StartKind(kind)
 	start := time.Now()
 	res, err := s.runExperiment(ctx, entry, opts)
 	done(err)
@@ -372,12 +392,16 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.runCtx(r)
 	defer cancel()
 
-	done := s.serving.Start()
+	kind := "scenario"
+	if len(sc.Fleets) > 0 {
+		kind = "fleet"
+	}
+	done := s.serving.StartKind(kind)
 	start := time.Now()
 	res, err := sc.RunCtx(ctx)
 	done(err)
-	s.logger.Printf("run scenario services=%d dur=%s err=%v",
-		len(sc.Services), time.Since(start).Round(time.Millisecond), err)
+	s.logger.Printf("run scenario services=%d fleets=%d dur=%s err=%v",
+		len(sc.Services), len(sc.Fleets), time.Since(start).Round(time.Millisecond), err)
 	if err != nil {
 		writeRunError(w, "scenario", err)
 		return
@@ -394,6 +418,22 @@ func toScenarioResponse(res scenario.Result) ScenarioResponse {
 	}
 	for _, sr := range res.Services {
 		out.Services = append(out.Services, toServiceResponse(sr.Name, sr.Report, sr))
+	}
+	for _, fr := range res.Fleets {
+		rep := fr.Report
+		out.Fleets = append(out.Fleets, FleetResponse{
+			Name:                fr.Name,
+			Strategy:            rep.Strategy,
+			NormalizedCost:      rep.NormalizedCost(),
+			Cost:                rep.Cost,
+			BaselineCost:        rep.BaselineCost,
+			CapacityShortfall:   rep.CapacityShortfall(),
+			PeakTarget:          rep.PeakTarget,
+			ReplicasLost:        rep.ReplicasLost,
+			MaxSimultaneousLoss: rep.MaxSimultaneousLoss(),
+			OnDemandFallbacks:   rep.OnDemandFallbacks,
+			ReverseReplacements: rep.ReverseReplacements,
+		})
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -150,6 +151,52 @@ func TestScenarioEndpoint(t *testing.T) {
 	}
 	if out.WorstService != "shop" {
 		t.Fatalf("totals: %+v", out)
+	}
+}
+
+func TestScenarioEndpointFleet(t *testing.T) {
+	srv := newServer(t)
+	doc := `{
+	  "seed": 5, "days": 3,
+	  "fleets": [
+	    {"name": "web", "strategy": "diversified",
+	     "base_load": 300, "peak_load": 600, "per_replica_load": 150}
+	  ]
+	}`
+	resp, err := http.Post(srv.URL+"/v1/scenario", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	out := decode[ScenarioResponse](t, resp)
+	if len(out.Fleets) != 1 || len(out.Services) != 0 {
+		t.Fatalf("response: %+v", out)
+	}
+	fl := out.Fleets[0]
+	if fl.Name != "web" || fl.Strategy != "diversified" {
+		t.Fatalf("fleet: %+v", fl)
+	}
+	if fl.NormalizedCost <= 0 || fl.NormalizedCost >= 1 {
+		t.Fatalf("fleet cost: %+v", fl)
+	}
+	if fl.PeakTarget < 3 || fl.CapacityShortfall > 0.05 {
+		t.Fatalf("fleet capacity: %+v", fl)
+	}
+
+	// The fleet run surfaces in /metrics under its own kind.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var b strings.Builder
+	if _, err := io.Copy(&b, mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `spotserve_kind_runs_total{kind="fleet",outcome="completed"} 1`) {
+		t.Fatalf("metrics missing fleet kind:\n%s", b.String())
 	}
 }
 

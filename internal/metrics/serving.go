@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -23,6 +24,17 @@ type Serving struct {
 	rejected   uint64
 	inFlight   int64
 	runSeconds float64
+	kinds      map[string]*KindStats
+}
+
+// KindStats is the per-run-kind counter subset: what the serving layer
+// ran (experiment, scenario, fleet), broken out by outcome.
+type KindStats struct {
+	Started   uint64
+	Completed uint64
+	Canceled  uint64
+	Failed    uint64
+	InFlight  int64
 }
 
 // Start records a run entering execution and returns the done callback to
@@ -32,9 +44,21 @@ type Serving struct {
 // run's wall time to the duration total and decrements the in-flight
 // gauge.
 func (s *Serving) Start() (done func(err error)) {
+	return s.StartKind("")
+}
+
+// StartKind is Start with a run-kind label ("experiment", "scenario",
+// "fleet", ...): the run is counted both in the aggregate counters and in
+// a per-kind breakdown. An empty kind counts only in the aggregate.
+func (s *Serving) StartKind(kind string) (done func(err error)) {
 	s.mu.Lock()
 	s.started++
 	s.inFlight++
+	k := s.kind(kind)
+	if k != nil {
+		k.Started++
+		k.InFlight++
+	}
 	s.mu.Unlock()
 	begin := time.Now()
 	var once sync.Once
@@ -45,16 +69,46 @@ func (s *Serving) Start() (done func(err error)) {
 			defer s.mu.Unlock()
 			s.inFlight--
 			s.runSeconds += d
+			k := s.kind(kind)
+			if k != nil {
+				k.InFlight--
+			}
 			switch {
 			case err == nil:
 				s.completed++
+				if k != nil {
+					k.Completed++
+				}
 			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 				s.canceled++
+				if k != nil {
+					k.Canceled++
+				}
 			default:
 				s.failed++
+				if k != nil {
+					k.Failed++
+				}
 			}
 		})
 	}
+}
+
+// kind returns the named kind's counters, creating them on first use.
+// Callers must hold s.mu; an empty kind returns nil.
+func (s *Serving) kind(name string) *KindStats {
+	if name == "" {
+		return nil
+	}
+	if s.kinds == nil {
+		s.kinds = map[string]*KindStats{}
+	}
+	k, ok := s.kinds[name]
+	if !ok {
+		k = &KindStats{}
+		s.kinds[name] = k
+	}
+	return k
 }
 
 // Reject records a run turned away at admission (e.g. HTTP 429).
@@ -73,13 +127,15 @@ type ServingStats struct {
 	Rejected        uint64
 	InFlight        int64
 	RunSecondsTotal float64
+	// Kinds breaks the run counters out by run kind (StartKind label).
+	Kinds map[string]KindStats
 }
 
 // Snapshot returns a consistent snapshot of the counters.
 func (s *Serving) Snapshot() ServingStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return ServingStats{
+	st := ServingStats{
 		Started:         s.started,
 		Completed:       s.completed,
 		Canceled:        s.canceled,
@@ -88,6 +144,13 @@ func (s *Serving) Snapshot() ServingStats {
 		InFlight:        s.inFlight,
 		RunSecondsTotal: s.runSeconds,
 	}
+	if len(s.kinds) > 0 {
+		st.Kinds = make(map[string]KindStats, len(s.kinds))
+		for name, k := range s.kinds {
+			st.Kinds[name] = *k
+		}
+	}
+	return st
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
@@ -105,4 +168,28 @@ func (st ServingStats) WritePrometheus(w io.Writer, prefix string) {
 	counter("run_seconds_total", "Total wall-clock seconds spent executing runs.", st.RunSecondsTotal)
 	fmt.Fprintf(w, "# HELP %s_runs_in_flight Runs currently executing.\n# TYPE %s_runs_in_flight gauge\n%s_runs_in_flight %d\n",
 		prefix, prefix, prefix, st.InFlight)
+	if len(st.Kinds) == 0 {
+		return
+	}
+	names := make([]string, 0, len(st.Kinds))
+	for name := range st.Kinds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP %s_kind_runs_total Runs by kind and outcome.\n# TYPE %s_kind_runs_total counter\n",
+		prefix, prefix)
+	for _, name := range names {
+		k := st.Kinds[name]
+		for _, oc := range []struct {
+			label string
+			v     uint64
+		}{{"started", k.Started}, {"completed", k.Completed}, {"canceled", k.Canceled}, {"failed", k.Failed}} {
+			fmt.Fprintf(w, "%s_kind_runs_total{kind=%q,outcome=%q} %d\n", prefix, name, oc.label, oc.v)
+		}
+	}
+	fmt.Fprintf(w, "# HELP %s_kind_runs_in_flight Runs currently executing, by kind.\n# TYPE %s_kind_runs_in_flight gauge\n",
+		prefix, prefix)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s_kind_runs_in_flight{kind=%q} %d\n", prefix, name, st.Kinds[name].InFlight)
+	}
 }

@@ -29,6 +29,53 @@ func TestServingLifecycle(t *testing.T) {
 	}
 }
 
+func TestServingKinds(t *testing.T) {
+	var s Serving
+	s.StartKind("experiment")(nil)
+	s.StartKind("fleet")(nil)
+	s.StartKind("fleet")(context.Canceled)
+	fdone := s.StartKind("fleet")
+	s.Start()(errors.New("boom")) // unkinded: aggregate only
+
+	st := s.Snapshot()
+	if st.Started != 5 || st.InFlight != 1 {
+		t.Fatalf("aggregate: %+v", st)
+	}
+	fl := st.Kinds["fleet"]
+	if fl.Started != 3 || fl.Completed != 1 || fl.Canceled != 1 || fl.InFlight != 1 {
+		t.Fatalf("fleet kind: %+v", fl)
+	}
+	if ex := st.Kinds["experiment"]; ex.Started != 1 || ex.Completed != 1 {
+		t.Fatalf("experiment kind: %+v", ex)
+	}
+	if _, ok := st.Kinds[""]; ok {
+		t.Fatal("empty kind tracked")
+	}
+
+	var b strings.Builder
+	st.WritePrometheus(&b, "spotserve")
+	out := b.String()
+	for _, want := range []string{
+		`spotserve_kind_runs_total{kind="fleet",outcome="started"} 3`,
+		`spotserve_kind_runs_total{kind="fleet",outcome="canceled"} 1`,
+		`spotserve_kind_runs_total{kind="experiment",outcome="completed"} 1`,
+		`spotserve_kind_runs_in_flight{kind="fleet"} 1`,
+		"# TYPE spotserve_kind_runs_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Kinds render in sorted order for deterministic scrapes.
+	if strings.Index(out, `kind="experiment"`) > strings.Index(out, `kind="fleet"`) {
+		t.Fatalf("kinds out of order:\n%s", out)
+	}
+	fdone(nil)
+	if st := s.Snapshot(); st.Kinds["fleet"].InFlight != 0 {
+		t.Fatalf("fleet in-flight after done: %+v", st.Kinds["fleet"])
+	}
+}
+
 func TestServingWritePrometheus(t *testing.T) {
 	var s Serving
 	s.Start()(nil)

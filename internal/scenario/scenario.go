@@ -27,11 +27,13 @@ import (
 
 	"spothost/internal/cloud"
 	"spothost/internal/econ"
+	"spothost/internal/fleet"
 	"spothost/internal/market"
 	"spothost/internal/metrics"
 	"spothost/internal/replay"
 	"spothost/internal/sched"
 	"spothost/internal/sim"
+	"spothost/internal/tpcw"
 	"spothost/internal/vm"
 )
 
@@ -63,6 +65,29 @@ type ServiceDef struct {
 	Revenue *RevenueDef `json:"revenue"`
 }
 
+// FleetDef describes one replicated, autoscaled fleet (internal/fleet):
+// a demand-driven replica count spread across spot markets, with
+// on-demand fallback and reverse replacement.
+type FleetDef struct {
+	Name     string   `json:"name"`
+	Strategy string   `json:"strategy"` // lowest-price | diversified | stability
+	Markets  []string `json:"markets"`  // "region/type" candidates; empty = every market
+
+	// BaseLoad and PeakLoad shape the diurnal demand curve (emulated
+	// browsers; defaults 300/1200). PerReplicaLoad sizes replicas with a
+	// linear capacity model; TargetMs > 0 instead plans capacity with the
+	// TPC-W queueing model at that mean-response-time target.
+	BaseLoad       float64 `json:"base_load"`
+	PeakLoad       float64 `json:"peak_load"`
+	PerReplicaLoad float64 `json:"per_replica_load"`
+	TargetMs       float64 `json:"target_ms"`
+
+	TickMinutes       float64 `json:"tick_minutes"`
+	BidMultiple       float64 `json:"bid_multiple"`
+	MaxReplicas       int     `json:"max_replicas"`
+	ReverseHysteresis float64 `json:"reverse_hysteresis"`
+}
+
 // Scenario is the top-level document.
 type Scenario struct {
 	Seed int64   `json:"seed"`
@@ -75,6 +100,7 @@ type Scenario struct {
 	Product      string `json:"product"`
 
 	Services []ServiceDef `json:"services"`
+	Fleets   []FleetDef   `json:"fleets"`
 }
 
 // Load parses a scenario document.
@@ -93,8 +119,8 @@ func Load(r io.Reader) (Scenario, error) {
 
 // Validate checks the document before any work happens.
 func (sc Scenario) Validate() error {
-	if len(sc.Services) == 0 {
-		return fmt.Errorf("scenario: no services")
+	if len(sc.Services) == 0 && len(sc.Fleets) == 0 {
+		return fmt.Errorf("scenario: no services or fleets")
 	}
 	if sc.Days <= 0 && sc.Traces == "" {
 		return fmt.Errorf("scenario: days must be positive for synthetic prices")
@@ -131,7 +157,40 @@ func (sc Scenario) Validate() error {
 			}
 		}
 	}
+	for i, f := range sc.Fleets {
+		if f.Name == "" {
+			return fmt.Errorf("scenario: fleet %d has no name", i)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("scenario: duplicate name %q", f.Name)
+		}
+		seen[f.Name] = true
+		if _, ok := fleet.StrategyFor(f.strategyName()); !ok {
+			return fmt.Errorf("scenario: fleet %q: unknown strategy %q", f.Name, f.Strategy)
+		}
+		if _, err := parseMarkets(f.Markets); err != nil {
+			return fmt.Errorf("scenario: fleet %q: %w", f.Name, err)
+		}
+		if f.BaseLoad < 0 || f.PeakLoad < 0 || f.PerReplicaLoad < 0 {
+			return fmt.Errorf("scenario: fleet %q: negative load", f.Name)
+		}
+		if f.PeakLoad > 0 && f.BaseLoad > 0 && f.PeakLoad < f.BaseLoad {
+			return fmt.Errorf("scenario: fleet %q: peak_load below base_load", f.Name)
+		}
+		if f.TargetMs < 0 || f.TickMinutes < 0 || f.BidMultiple < 0 || f.MaxReplicas < 0 {
+			return fmt.Errorf("scenario: fleet %q: negative parameter", f.Name)
+		}
+	}
 	return nil
+}
+
+// strategyName resolves the fleet's strategy name, defaulting to the
+// diversified allocation.
+func (f FleetDef) strategyName() string {
+	if f.Strategy == "" {
+		return "diversified"
+	}
+	return f.Strategy
 }
 
 func parsePolicy(s string) (sched.Bidding, error) {
@@ -238,6 +297,75 @@ func (s ServiceDef) config() (sched.Config, error) {
 	return cfg, nil
 }
 
+// Defaults for FleetDef fields left zero: a diurnal curve peaking at 4x
+// base load, sized linearly at 150 EBs per replica. scenarioPlanQuantum
+// keeps TPC-W capacity planning to a handful of queueing simulations per
+// scenario run.
+const (
+	defaultFleetBaseLoad   = 300
+	defaultFleetPeakLoad   = 1200
+	defaultFleetPerReplica = 150
+	scenarioPlanQuantum    = 128
+)
+
+// config builds one fleet's controller config over the scenario horizon.
+func (f FleetDef) config(horizon sim.Duration, seed int64) (fleet.Config, error) {
+	strat, ok := fleet.StrategyFor(f.strategyName())
+	if !ok {
+		return fleet.Config{}, fmt.Errorf("unknown strategy %q", f.Strategy)
+	}
+	markets, err := parseMarkets(f.Markets)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	base, peak := f.BaseLoad, f.PeakLoad
+	if base <= 0 {
+		base = defaultFleetBaseLoad
+	}
+	if peak <= 0 {
+		peak = defaultFleetPeakLoad
+	}
+	if peak < base {
+		peak = base
+	}
+	dcfg := fleet.DefaultDiurnalConfig(horizon, seed)
+	dcfg.Base, dcfg.Peak = base, peak
+	demand, err := fleet.NewDiurnalDemand(dcfg)
+	if err != nil {
+		return fleet.Config{}, err
+	}
+	cfg := fleet.Config{
+		Markets:           markets,
+		Strategy:          strat,
+		Demand:            demand,
+		Tick:              f.TickMinutes * sim.Minute,
+		BidMultiple:       f.BidMultiple,
+		MaxReplicas:       f.MaxReplicas,
+		ReverseHysteresis: f.ReverseHysteresis,
+	}
+	if f.TargetMs > 0 {
+		max := cfg.MaxReplicas
+		if max <= 0 {
+			max = fleet.DefaultMaxReplicas
+		}
+		tcfg := tpcw.DefaultConfig(1, false, true, seed)
+		tcfg.Duration = 600
+		tcfg.Warmup = 120
+		planner, err := fleet.NewTPCWPlanner(tcfg, f.TargetMs, max, scenarioPlanQuantum)
+		if err != nil {
+			return fleet.Config{}, err
+		}
+		cfg.Planner = planner
+	} else {
+		per := f.PerReplicaLoad
+		if per <= 0 {
+			per = defaultFleetPerReplica
+		}
+		cfg.Planner = fleet.LinearPlanner{PerReplica: per}
+	}
+	return cfg, nil
+}
+
 // ServiceResult pairs a service's hosting report with its optional
 // business analysis.
 type ServiceResult struct {
@@ -246,9 +374,16 @@ type ServiceResult struct {
 	Analysis *econ.Analysis // nil without a revenue model
 }
 
+// FleetResult is one fleet's outcome.
+type FleetResult struct {
+	Name   string
+	Report fleet.Report
+}
+
 // Result is the whole scenario's outcome.
 type Result struct {
 	Services []ServiceResult
+	Fleets   []FleetResult
 	Totals   sched.Totals
 }
 
@@ -269,48 +404,68 @@ func (sc Scenario) RunCtx(ctx context.Context) (Result, error) {
 		return Result{}, err
 	}
 	cp := cloud.DefaultParams(sc.Seed)
-	p := sched.NewPortfolio(set, cp)
-	for _, svc := range sc.Services {
-		cfg, err := svc.config()
-		if err != nil {
-			return Result{}, fmt.Errorf("scenario: service %q: %w", svc.Name, err)
-		}
-		if err := p.AddAt(svc.StartHour*sim.Hour, svc.Name, cfg); err != nil {
-			return Result{}, err
-		}
-		if svc.StopHour > 0 {
-			if err := p.StopAt(svc.StopHour*sim.Hour, svc.Name); err != nil {
-				return Result{}, err
-			}
-		}
-	}
 	horizon := sc.Days * sim.Day
-	if err := p.RunCtx(ctx, horizon); err != nil {
-		return Result{}, err
-	}
 
 	var out Result
-	for _, svc := range sc.Services {
-		rep, err := p.Report(svc.Name)
-		if err != nil {
+	if len(sc.Services) > 0 {
+		p := sched.NewPortfolio(set, cp)
+		for _, svc := range sc.Services {
+			cfg, err := svc.config()
+			if err != nil {
+				return Result{}, fmt.Errorf("scenario: service %q: %w", svc.Name, err)
+			}
+			if err := p.AddAt(svc.StartHour*sim.Hour, svc.Name, cfg); err != nil {
+				return Result{}, err
+			}
+			if svc.StopHour > 0 {
+				if err := p.StopAt(svc.StopHour*sim.Hour, svc.Name); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+		if err := p.RunCtx(ctx, horizon); err != nil {
 			return Result{}, err
 		}
-		sr := ServiceResult{Name: svc.Name, Report: rep}
-		if svc.Revenue != nil {
-			m := econ.RevenueModel{
-				RequestsPerSecond:  svc.Revenue.RequestsPerSecond,
-				RevenuePerRequest:  svc.Revenue.RevenuePerRequest,
-				DegradedLossFactor: svc.Revenue.DegradedLossFactor,
-			}
-			a, err := econ.Analyze(m, rep)
+		for _, svc := range sc.Services {
+			rep, err := p.Report(svc.Name)
 			if err != nil {
 				return Result{}, err
 			}
-			sr.Analysis = &a
+			sr := ServiceResult{Name: svc.Name, Report: rep}
+			if svc.Revenue != nil {
+				m := econ.RevenueModel{
+					RequestsPerSecond:  svc.Revenue.RequestsPerSecond,
+					RevenuePerRequest:  svc.Revenue.RevenuePerRequest,
+					DegradedLossFactor: svc.Revenue.DegradedLossFactor,
+				}
+				a, err := econ.Analyze(m, rep)
+				if err != nil {
+					return Result{}, err
+				}
+				sr.Analysis = &a
+			}
+			out.Services = append(out.Services, sr)
 		}
-		out.Services = append(out.Services, sr)
+		out.Totals = p.Totals()
 	}
-	out.Totals = p.Totals()
+
+	// Each fleet is its own simulation over the same price universe: the
+	// controller manages capacity, not individual long-lived VMs, so it
+	// shares traces with the portfolio but not a bill.
+	if fh := set.Horizon(); horizon <= 0 || horizon > fh {
+		horizon = fh
+	}
+	for _, fd := range sc.Fleets {
+		cfg, err := fd.config(horizon, sc.Seed)
+		if err != nil {
+			return Result{}, fmt.Errorf("scenario: fleet %q: %w", fd.Name, err)
+		}
+		rep, err := fleet.RunCtx(ctx, set, cp, cfg, horizon)
+		if err != nil {
+			return Result{}, fmt.Errorf("scenario: fleet %q: %w", fd.Name, err)
+		}
+		out.Fleets = append(out.Fleets, FleetResult{Name: fd.Name, Report: rep})
+	}
 	return out, nil
 }
 
@@ -325,8 +480,16 @@ func (r Result) Render() string {
 			fmt.Fprintf(&b, "%-16s %s\n", "", sr.Analysis)
 		}
 	}
-	fmt.Fprintf(&b, "portfolio: %d services, cost %.1f%% of on-demand, worst unavailability %.4f%% (%s)\n",
-		r.Totals.Services, 100*r.Totals.NormalizedCost(),
-		100*r.Totals.WorstUnavailability, r.Totals.WorstService)
+	if len(r.Services) > 0 {
+		fmt.Fprintf(&b, "portfolio: %d services, cost %.1f%% of on-demand, worst unavailability %.4f%% (%s)\n",
+			r.Totals.Services, 100*r.Totals.NormalizedCost(),
+			100*r.Totals.WorstUnavailability, r.Totals.WorstService)
+	}
+	for _, fr := range r.Fleets {
+		rep := fr.Report
+		fmt.Fprintf(&b, "fleet %-10s %-12s cost=%6.1f%%  shortfall=%7.4f%%  peak=%d  lost=%d  worst-simul=%d  reverse=%d\n",
+			fr.Name, rep.Strategy, 100*rep.NormalizedCost(), 100*rep.CapacityShortfall(),
+			rep.PeakTarget, rep.ReplicasLost, rep.MaxSimultaneousLoss(), rep.ReverseReplacements)
+	}
 	return b.String()
 }

@@ -50,6 +50,12 @@ func TestLoadRejectsBadDocuments(t *testing.T) {
 		"bad mechanism":   `{"days": 5, "services": [{"name":"a","region":"r","type":"small","mechanism":"magic"}]}`,
 		"stop<start":      `{"days": 5, "services": [{"name":"a","region":"r","type":"small","start_hour":10,"stop_hour":5}]}`,
 		"bad revenue":     `{"days": 5, "services": [{"name":"a","region":"r","type":"small","revenue":{"requests_per_second":-1}}]}`,
+		"unnamed fleet":   `{"days": 5, "fleets": [{"strategy": "diversified"}]}`,
+		"dup fleet name":  `{"days": 5, "services": [{"name":"a","region":"r","type":"small"}], "fleets": [{"name":"a"}]}`,
+		"bad strategy":    `{"days": 5, "fleets": [{"name":"f","strategy":"vibes"}]}`,
+		"bad fleet mkt":   `{"days": 5, "fleets": [{"name":"f","markets":["us-east-1a"]}]}`,
+		"peak<base":       `{"days": 5, "fleets": [{"name":"f","base_load":100,"peak_load":50}]}`,
+		"negative param":  `{"days": 5, "fleets": [{"name":"f","target_ms":-1}]}`,
 	}
 	for label, doc := range cases {
 		if _, err := Load(strings.NewReader(doc)); err == nil {
@@ -97,6 +103,97 @@ func TestScenarioRunEndToEnd(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+const fleetDoc = `{
+  "seed": 5,
+  "days": 4,
+  "fleets": [
+    {"name": "web", "strategy": "diversified",
+     "markets": ["us-east-1a/small", "us-east-1b/small", "us-west-1a/small", "eu-west-1a/small"],
+     "base_load": 300, "peak_load": 900, "per_replica_load": 150}
+  ]
+}`
+
+func TestScenarioFleetOnly(t *testing.T) {
+	sc, err := Load(strings.NewReader(fleetDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Services) != 0 || len(res.Fleets) != 1 {
+		t.Fatalf("results: %d services, %d fleets", len(res.Services), len(res.Fleets))
+	}
+	rep := res.Fleets[0].Report
+	if res.Fleets[0].Name != "web" || rep.Strategy != "diversified" {
+		t.Fatalf("fleet result: %+v", res.Fleets[0])
+	}
+	if rep.Cost <= 0 || rep.NormalizedCost() >= 1 {
+		t.Fatalf("fleet cost %v of baseline %v", rep.Cost, rep.BaselineCost)
+	}
+	// Peak 900 EBs at 150 per replica ~ 6 target replicas (+/- noise).
+	if rep.PeakTarget < 5 {
+		t.Fatalf("peak target = %d", rep.PeakTarget)
+	}
+	if rep.CapacityShortfall() > 0.05 {
+		t.Fatalf("shortfall = %v", rep.CapacityShortfall())
+	}
+	out := res.Render()
+	if !strings.Contains(out, "fleet web") || strings.Contains(out, "portfolio:") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestScenarioMixedServicesAndFleets(t *testing.T) {
+	doc := `{
+	  "seed": 3,
+	  "days": 3,
+	  "services": [
+	    {"name": "shop", "region": "us-east-1a", "type": "medium"}
+	  ],
+	  "fleets": [
+	    {"name": "web", "strategy": "lowest-price", "per_replica_load": 150,
+	     "base_load": 150, "peak_load": 450, "tick_minutes": 10}
+	  ]
+	}`
+	sc, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Services) != 1 || len(res.Fleets) != 1 {
+		t.Fatalf("results: %+v", res)
+	}
+	if res.Totals.Services != 1 {
+		t.Fatalf("totals: %+v", res.Totals)
+	}
+	if res.Fleets[0].Report.Strategy != "lowest-price" {
+		t.Fatalf("fleet strategy = %q", res.Fleets[0].Report.Strategy)
+	}
+	out := res.Render()
+	for _, want := range []string{"shop", "portfolio:", "fleet web"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScenarioFleetUnknownMarket(t *testing.T) {
+	doc := `{"days": 2, "fleets": [
+	  {"name":"f","markets":["atlantis-1a/small"],"per_replica_load":100}]}`
+	sc, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("unknown fleet market ran")
 	}
 }
 

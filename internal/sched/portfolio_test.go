@@ -114,6 +114,30 @@ func TestPortfolioLifecycle(t *testing.T) {
 	if tot.Migrations.Total() == 0 {
 		t.Fatal("no migrations recorded across the portfolio")
 	}
+
+	// Per-service event logs are recoverable after the run.
+	shopEvents, err := p.Events("shop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shopEvents) == 0 {
+		t.Fatal("shop event log empty after an 8-day run")
+	}
+	for i := 1; i < len(shopEvents); i++ {
+		if shopEvents[i].At < shopEvents[i-1].At {
+			t.Fatalf("event log out of order at %d: %v < %v", i, shopEvents[i].At, shopEvents[i-1].At)
+		}
+	}
+	if _, err := p.Events("ghost"); err == nil {
+		t.Fatal("unknown service event log accepted")
+	}
+	logs := p.EventLogs()
+	if len(logs) != 3 {
+		t.Fatalf("event logs for %d services, want 3", len(logs))
+	}
+	if len(logs["shop"]) != len(shopEvents) {
+		t.Fatalf("EventLogs[shop] has %d events, Events(shop) %d", len(logs["shop"]), len(shopEvents))
+	}
 }
 
 func TestPortfolioEmptyRun(t *testing.T) {
