@@ -11,6 +11,7 @@
 package spothost
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"spothost/internal/sched"
 	"spothost/internal/sim"
 	"spothost/internal/tpcw"
+	"spothost/internal/trace"
 	"spothost/internal/vm"
 )
 
@@ -276,6 +278,25 @@ func BenchmarkSchedulerMonth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sched.RunSeeds(mcfg, cloud.DefaultParams(0), cfg,
 			30*sim.Day, []int64{int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerMonthTraced is BenchmarkSchedulerMonth with a live
+// trace recorder attached: the delta against the nil-recorder baseline is
+// the whole-run cost of span and histogram recording.
+func BenchmarkSchedulerMonthTraced(b *testing.B) {
+	home := market.ID{Region: "us-east-1a", Type: "small"}
+	cfg, err := sched.DefaultConfig(home, market.DefaultTypes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcfg := market.DefaultConfig(0)
+	col := trace.NewHistogramCollector()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.RunSeedsTracedCtx(context.Background(), mcfg,
+			cloud.DefaultParams(0), cfg, 30*sim.Day, []int64{int64(i + 1)}, 0, col); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"spothost/internal/experiments"
 	"spothost/internal/runpool"
 	"spothost/internal/sim"
+	"spothost/internal/trace"
 )
 
 // strategyJSON is one strategy's machine-readable outcome.
@@ -55,6 +56,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker count for (strategy, seed) cells; 0 means GOMAXPROCS")
 	asJSON := flag.Bool("json", false, "emit a machine-readable JSON document instead of the table")
 	csvPath := flag.String("csv", "", "also write the per-strategy CSV to this path")
+	traceF := flag.String("trace", "", "write a run trace of every (strategy, seed) cell to this file")
+	traceFormat := flag.String("trace-format", "chrome", "trace export format: chrome (Perfetto trace_event JSON) | jsonl")
 	flag.Parse()
 
 	opts := experiments.Defaults()
@@ -82,6 +85,12 @@ func main() {
 	defer stop()
 	opts.Context = ctx
 
+	var col *trace.Collector
+	if *traceF != "" {
+		col = trace.NewCollector()
+		opts.Trace = col
+	}
+
 	res, err := experiments.Fleet(opts)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -98,6 +107,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+	if col != nil {
+		f, err := os.Create(*traceF)
+		if err == nil {
+			err = col.Export(f, *traceFormat)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceF)
 	}
 
 	if !*asJSON {

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	paperbench [-quick] [-only figure6] [-seeds 5] [-days 30] [-parallel 8]
+//	paperbench -only figure6 -trace figure6.json          # Perfetto-loadable run trace
+//	paperbench -trace all.jsonl -trace-format jsonl
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"spothost/internal/market"
 	"spothost/internal/runpool"
 	"spothost/internal/sim"
+	"spothost/internal/trace"
 )
 
 func main() {
@@ -30,6 +33,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker count for (config, seed) cells; 0 means GOMAXPROCS")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	csvDir := flag.String("csv", "", "also write <experiment>.csv files into this directory")
+	traceF := flag.String("trace", "", "write a run trace of every simulation cell to this file")
+	traceFormat := flag.String("trace-format", "chrome", "trace export format: chrome (Perfetto trace_event JSON) | jsonl")
 	flag.Parse()
 
 	if *list {
@@ -77,6 +82,28 @@ func main() {
 			s.Hits, s.Misses, s.Universes)
 	}()
 
+	var col *trace.Collector
+	if *traceF != "" {
+		col = trace.NewCollector()
+	}
+	writeTrace := func() {
+		if col == nil {
+			return
+		}
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fail(err)
+		}
+		if err := col.Export(f, *traceFormat); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceF)
+	}
+
 	writeCSV := func(name string, res experiments.Renderer) {
 		if *csvDir == "" {
 			return
@@ -97,26 +124,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 
+	// runOne executes one experiment under a per-experiment trace scope and
+	// logs its wall-clock phases (simulate, render) to stderr.
+	runOne := func(e experiments.Entry, banner bool) {
+		opts.Trace = col.Scope(e.Name)
+		ph := trace.NewPhases()
+		res, err := e.Run(opts)
+		if err != nil {
+			fail(err)
+		}
+		ph.Mark("sim")
+		text := res.Render()
+		ph.Mark("report")
+		if banner {
+			fmt.Printf("=== %s ===\n%s\n", e.Name, text)
+		} else {
+			fmt.Println(text)
+		}
+		writeCSV(e.Name, res)
+		fmt.Fprintf(os.Stderr, "timing %s: %s\n", e.Name, ph)
+	}
+
 	if *only != "" {
 		e, ok := experiments.Find(*only)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *only)
 			os.Exit(2)
 		}
-		res, err := e.Run(opts)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(res.Render())
-		writeCSV(e.Name, res)
+		runOne(e, false)
+		writeTrace()
 		return
 	}
 	for _, e := range experiments.All() {
-		res, err := e.Run(opts)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("=== %s ===\n%s\n", e.Name, res.Render())
-		writeCSV(e.Name, res)
+		runOne(e, true)
 	}
+	writeTrace()
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +38,8 @@ func main() {
 		"per-run execution deadline (0 disables); exceeded runs are canceled and get 504")
 	grace := flag.Duration("grace", 15*time.Second,
 		"shutdown grace period for in-flight requests on SIGINT/SIGTERM")
+	pprofAddr := flag.String("pprof-addr", "",
+		"listen address for net/http/pprof profiling endpoints (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "spotserve ", log.LstdFlags)
@@ -51,6 +54,24 @@ func main() {
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 15 * time.Minute,
 		IdleTimeout:  60 * time.Second,
+	}
+
+	// Profiling stays off the service port and off by default: the pprof
+	// handlers go on their own mux and listener, so enabling them never
+	// exposes debug endpoints to API clients.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

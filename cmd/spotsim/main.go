@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"spothost/internal/replay"
 	"spothost/internal/sched"
 	"spothost/internal/sim"
+	"spothost/internal/trace"
 	"spothost/internal/vm"
 )
 
@@ -83,7 +85,15 @@ func main() {
 	productF := flag.String("product", "Linux/UNIX", "product filter for AWS trace formats")
 	pessimistF := flag.Bool("pessimistic", false, "use worst-case migration constants")
 	verboseF := flag.Bool("v", false, "print each seed's report")
+	traceOutF := flag.String("trace", "", "write a run trace to this file")
+	traceFormatF := flag.String("trace-format", "chrome", "trace export format: chrome (Perfetto trace_event JSON) | jsonl")
 	flag.Parse()
+
+	ph := trace.NewPhases()
+	var col *trace.Collector
+	if *traceOutF != "" {
+		col = trace.NewCollector()
+	}
 
 	policy, err := parsePolicy(*policyF)
 	if err != nil {
@@ -140,10 +150,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		r, err := sched.Run(set, cloud.DefaultParams(1), cfg, horizon)
+		ph.Mark("load")
+		rec := col.Run("replay")
+		r, err := sched.RunTracedCtx(context.Background(), set, cloud.DefaultParams(1), cfg, horizon, rec)
 		if err != nil {
 			fatal(err)
 		}
+		col.Done(rec)
 		reports = append(reports, r)
 	} else {
 		mcfg := market.DefaultConfig(0)
@@ -154,11 +167,13 @@ func main() {
 		for i := 0; i < *seedsF; i++ {
 			seeds = append(seeds, int64(17*(i+1)))
 		}
-		reports, err = sched.RunSeeds(mcfg, cloud.DefaultParams(0), cfg, horizon, seeds)
+		ph.Mark("load")
+		reports, err = sched.RunSeedsTracedCtx(context.Background(), mcfg, cloud.DefaultParams(0), cfg, horizon, seeds, 0, col)
 		if err != nil {
 			fatal(err)
 		}
 	}
+	ph.Mark("sim")
 
 	if *verboseF {
 		for i, r := range reports {
@@ -167,6 +182,22 @@ func main() {
 	}
 	avg := metrics.Average(reports)
 	fmt.Printf("=== average over %d run(s) ===\n%s\n", len(reports), avg)
+	if col != nil {
+		f, err := os.Create(*traceOutF)
+		if err != nil {
+			fatal(err)
+		}
+		if err := col.Export(f, *traceFormatF); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOutF)
+	}
+	ph.Mark("report")
+	fmt.Fprintf(os.Stderr, "timing: %s\n", ph)
 }
 
 func fatal(err error) {

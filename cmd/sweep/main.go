@@ -33,6 +33,7 @@ import (
 	"spothost/internal/runpool"
 	"spothost/internal/sched"
 	"spothost/internal/sim"
+	"spothost/internal/trace"
 	"spothost/internal/vm"
 )
 
@@ -46,10 +47,18 @@ func main() {
 	fleet := flag.Int("vms", 0, "fleet size for multi-market knobs (default 4 for hysteresis/lambda)")
 	parallel := flag.Int("parallel", 0, "worker count for (value, seed) cells; 0 means GOMAXPROCS")
 	experiment := flag.String("experiment", "", "run a registered experiment by name instead of a knob sweep")
+	traceF := flag.String("trace", "", "write a run trace of every simulation cell to this file")
+	traceFormat := flag.String("trace-format", "chrome", "trace export format: chrome (Perfetto trace_event JSON) | jsonl")
 	flag.Parse()
 
+	var col *trace.Collector
+	if *traceF != "" {
+		col = trace.NewCollector()
+	}
+
 	if *experiment != "" {
-		runExperiment(*experiment, *seedsN, *days, *parallel)
+		runExperiment(*experiment, *seedsN, *days, *parallel, col)
+		writeTrace(col, *traceF, *traceFormat)
 		return
 	}
 
@@ -93,7 +102,12 @@ func main() {
 		}
 		cp := cloud.DefaultParams(0)
 		cp.Seed = seeds[i%ns]
-		return sched.RunCtx(ctx, set, cp, cfgs[i/ns], *days*sim.Day)
+		rec := col.Run(fmt.Sprintf("%s=%g/seed%d", *knob, values[i/ns], seeds[i%ns]))
+		rep, err := sched.RunTracedCtx(ctx, set, cp, cfgs[i/ns], *days*sim.Day, rec)
+		if err == nil {
+			col.Done(rec)
+		}
+		return rep, err
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -110,13 +124,33 @@ func main() {
 			*knob, v, r.NormalizedCost(), r.Unavailability(),
 			r.ForcedPerHour(), r.PlannedReversePerHour(), r.Migrations.Total())
 	}
+	writeTrace(col, *traceF, *traceFormat)
+}
+
+// writeTrace exports the collected trace, if tracing was requested.
+func writeTrace(col *trace.Collector, path, format string) {
+	if col == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := col.Export(f, format); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 // runExperiment executes one entry from the experiments registry — the
 // same single table behind cmd/paperbench and the HTTP API, so a newly
 // registered experiment is immediately sweepable — and prints its CSV
 // series when it exports one, its rendered table otherwise.
-func runExperiment(name string, seedsN int, days float64, parallel int) {
+func runExperiment(name string, seedsN int, days float64, parallel int, col *trace.Collector) {
 	entry, ok := experiments.Find(name)
 	if !ok {
 		var names []string
@@ -137,6 +171,7 @@ func runExperiment(name string, seedsN int, days float64, parallel int) {
 		opts.Market.Horizon = opts.Horizon
 	}
 	opts.Parallel = parallel
+	opts.Trace = col.Scope(name)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	opts.Context = ctx

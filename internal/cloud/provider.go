@@ -7,6 +7,7 @@ import (
 	"spothost/internal/market"
 	"spothost/internal/randx"
 	"spothost/internal/sim"
+	"spothost/internal/trace"
 )
 
 // Provider is the simulated infrastructure cloud. All methods must be
@@ -226,12 +227,17 @@ func (p *Provider) chargeHour(in *Instance) {
 		return
 	}
 	now := p.eng.Now()
+	rec := p.eng.Recorder()
 	rate := p.set.OnDemand(in.market)
+	class := "on-demand"
 	if in.lifecycle == Spot {
 		// "billed on an hourly basis, based on the spot price (not the
 		// bid price) at the beginning of each hour".
 		rate = p.set.Trace(in.market).PriceAt(now)
+		class = "spot"
+		rec.ObserveSpotPrice(rate)
 	}
+	rec.Instant(trace.KindBillingHour, class, "billing", now)
 	in.lastHourAt = now
 	in.lastHourCost = rate
 	in.charged += rate

@@ -8,6 +8,7 @@ import (
 	"spothost/internal/metrics"
 	"spothost/internal/runpool"
 	"spothost/internal/sched"
+	"spothost/internal/trace"
 	"spothost/internal/vm"
 )
 
@@ -16,8 +17,8 @@ import (
 // worker pool; universes come from the shared market cache. Canceling the
 // option context aborts every in-flight seed.
 func runPolicy(opts Options, cfg sched.Config) (metrics.Report, error) {
-	rs, err := sched.RunSeedsParallelCtx(opts.Context, opts.Market, opts.Cloud, cfg,
-		opts.Horizon, opts.Seeds, opts.Parallel)
+	rs, err := sched.RunSeedsTracedCtx(opts.Context, opts.Market, opts.Cloud, cfg,
+		opts.Horizon, opts.Seeds, opts.Parallel, opts.Trace)
 	if err != nil {
 		return metrics.Report{}, err
 	}
@@ -44,7 +45,15 @@ func runPolicies(opts Options, cfgs []sched.Config) ([]metrics.Report, error) {
 		}
 		cp := opts.Cloud
 		cp.Seed = opts.Seeds[i%ns]
-		return sched.RunCtx(ctx, set, cp, cfgs[i/ns], opts.Horizon)
+		var rec *trace.Recorder
+		if opts.Trace != nil {
+			rec = opts.Trace.Run(fmt.Sprintf("cfg%02d/seed%d", i/ns, opts.Seeds[i%ns]))
+		}
+		rep, err := sched.RunTracedCtx(ctx, set, cp, cfgs[i/ns], opts.Horizon, rec)
+		if err == nil {
+			opts.Trace.Done(rec)
+		}
+		return rep, err
 	})
 	if err != nil {
 		return nil, err

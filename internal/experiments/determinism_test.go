@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"runtime"
+	"strings"
 	"testing"
+
+	"spothost/internal/trace"
 )
 
 // determinismOpts keeps the parallel-vs-serial comparison fast while still
@@ -82,6 +86,36 @@ func TestFigure8ParallelDeterminism(t *testing.T) {
 		}
 		if got := par.Render(); got != want {
 			t.Fatalf("workers=%d: rendered output differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s", w, want, got)
+		}
+	}
+}
+
+// TestTraceParallelDeterminism asserts the exported Chrome trace is
+// byte-identical at any worker count. Run labels come from deterministic
+// (config, seed) coordinates and the exporter iterates runs in label
+// order, so completion order — the one thing parallelism reorders — must
+// never appear in the export.
+func TestTraceParallelDeterminism(t *testing.T) {
+	export := func(workers int) string {
+		opts := determinismOpts(workers)
+		opts.Trace = trace.NewCollector()
+		if _, err := Figure6(opts); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var b bytes.Buffer
+		if err := opts.Trace.Export(&b, "chrome"); err != nil {
+			t.Fatalf("workers=%d: export: %v", workers, err)
+		}
+		return b.String()
+	}
+	want := export(1)
+	if !strings.Contains(want, `"name":"migration"`) {
+		t.Fatalf("serial trace has no migration spans:\n%.2000s", want)
+	}
+	for _, w := range workerCounts() {
+		if got := export(w); got != want {
+			t.Fatalf("workers=%d: chrome export differs from serial (serial %d bytes, parallel %d bytes)",
+				w, len(want), len(got))
 		}
 	}
 }

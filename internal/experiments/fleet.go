@@ -10,6 +10,7 @@ import (
 	"spothost/internal/runpool"
 	"spothost/internal/sim"
 	"spothost/internal/tpcw"
+	"spothost/internal/trace"
 )
 
 // Fleet experiment constants: a diurnal load peaking at 1200 emulated
@@ -113,7 +114,15 @@ func Fleet(opts Options) (FleetResult, error) {
 			BidMultiple: fleetBidMultiple,
 			MaxReplicas: fleetMaxReplicas,
 		}
-		return fleet.RunCtx(ctx, set, cp, cfg, opts.Horizon)
+		var rec *trace.Recorder
+		if opts.Trace != nil {
+			rec = opts.Trace.Run(fmt.Sprintf("%s/seed%d", strategies[i/ns].Name(), seed))
+		}
+		rep, err := fleet.RunTracedCtx(ctx, set, cp, cfg, opts.Horizon, rec)
+		if err == nil {
+			opts.Trace.Done(rec)
+		}
+		return rep, err
 	})
 	if err != nil {
 		return res, err

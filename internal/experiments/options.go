@@ -13,6 +13,7 @@ import (
 	"spothost/internal/cloud"
 	"spothost/internal/market"
 	"spothost/internal/sim"
+	"spothost/internal/trace"
 	"spothost/internal/vm"
 )
 
@@ -44,6 +45,11 @@ type Options struct {
 	// and the experiment returns the context's error. Nil means
 	// context.Background() (run to completion).
 	Context context.Context
+	// Trace, when set, collects a run trace: every simulation cell records
+	// spans and histograms into its own recorder labeled by its (config,
+	// seed) coordinates, so exports are deterministic at any Parallel
+	// setting. Nil (the default) traces nothing at no cost.
+	Trace *trace.Collector
 }
 
 // Defaults returns the full-fidelity options used by cmd/paperbench:

@@ -17,6 +17,7 @@ import (
 	"spothost/internal/forecast"
 	"spothost/internal/market"
 	"spothost/internal/sim"
+	"spothost/internal/trace"
 )
 
 // Defaults for Config fields left zero.
@@ -102,6 +103,9 @@ type replica struct {
 	// draining partner still serves).
 	replaces *replica
 	draining bool
+	// span is the replica's open launch span when tracing is on (0
+	// otherwise): request → running, or → never-granted.
+	span trace.SpanID
 }
 
 // Controller is the fleet controller. All methods must be called from
@@ -321,6 +325,13 @@ func (c *Controller) launch(replaces *replica) {
 			in, err := c.prov.RequestSpot(id, c.bid(id), c.callbacks(r))
 			if err == nil {
 				r.in = in
+				if rec := c.eng.Recorder(); rec != nil {
+					class := "spot"
+					if replaces != nil {
+						class = "reverse"
+					}
+					r.span = rec.Begin(trace.KindLaunch, class, in.Market().String(), c.eng.Now())
+				}
 				c.launches++
 				c.replicas = append(c.replicas, r)
 				return
@@ -338,6 +349,9 @@ func (c *Controller) launch(replaces *replica) {
 		return // unreachable: markets were validated at construction
 	}
 	r.in = in
+	if rec := c.eng.Recorder(); rec != nil {
+		r.span = rec.Begin(trace.KindLaunch, "on-demand", in.Market().String(), c.eng.Now())
+	}
 	c.launches++
 	c.odFallbacks++
 	c.replicas = append(c.replicas, r)
@@ -453,6 +467,14 @@ func (c *Controller) callbacks(r *replica) cloud.Callbacks {
 
 func (c *Controller) onRunning(r *replica) {
 	c.advance(c.eng.Now())
+	if rec := c.eng.Recorder(); rec != nil {
+		d := rec.End(r.span, c.eng.Now())
+		r.span = 0
+		if r.replaces != nil {
+			// Reverse replacement latency: request to promoted capacity.
+			rec.ObserveMigration("reverse", d)
+		}
+	}
 	if od := r.replaces; od != nil {
 		// The reverse replacement is up: retire the on-demand replica it
 		// was draining and promote the replacement to regular capacity.
@@ -465,6 +487,9 @@ func (c *Controller) onRunning(r *replica) {
 
 func (c *Controller) onWarning(r *replica) {
 	c.advance(c.eng.Now())
+	if rec := c.eng.Recorder(); rec != nil {
+		rec.Instant(trace.KindWarning, "", r.in.Market().String(), c.eng.Now())
+	}
 	r.doomed = true
 	// The replica serves until the grace deadline, but its capacity is
 	// lost: replace it now. The spiking market prices itself out of the
@@ -478,10 +503,17 @@ func (c *Controller) onTerminated(r *replica, reason cloud.TerminationReason) {
 	c.remove(r)
 	switch reason {
 	case cloud.ReasonRevoked:
+		if rec := c.eng.Recorder(); rec != nil {
+			rec.Instant(trace.KindLoss, "", r.in.Market().String(), now)
+		}
 		c.lost++
 		c.lossAt[now]++
 		c.reconcile()
 	case cloud.ReasonNeverGranted:
+		if rec := c.eng.Recorder(); rec != nil {
+			rec.EndWith(r.span, now, "never-granted")
+			r.span = 0
+		}
 		c.neverGranted++
 		if od := r.replaces; od != nil {
 			od.draining = false // drain aborted; the on-demand replica stays

@@ -8,6 +8,7 @@ import (
 	"spothost/internal/market"
 	"spothost/internal/runpool"
 	"spothost/internal/sim"
+	"spothost/internal/trace"
 )
 
 // Run wires up an engine, a provider over the price set and a fleet
@@ -22,11 +23,21 @@ func Run(set *market.Set, cloudParams cloud.Params, cfg Config, horizon sim.Dura
 // as it is canceled, discarding the partial report.
 func RunCtx(ctx context.Context, set *market.Set, cloudParams cloud.Params,
 	cfg Config, horizon sim.Duration) (Report, error) {
+	return RunTracedCtx(ctx, set, cloudParams, cfg, horizon, nil)
+}
+
+// RunTracedCtx is RunCtx with a trace recorder attached to the run's
+// engine: replica launches, revocation warnings and losses record into it,
+// one track per market (revocation clustering is visible as a burst of
+// loss instants in one lane). A nil recorder traces nothing at no cost.
+func RunTracedCtx(ctx context.Context, set *market.Set, cloudParams cloud.Params,
+	cfg Config, horizon sim.Duration, rec *trace.Recorder) (Report, error) {
 
 	if horizon <= 0 || horizon > set.Horizon() {
 		horizon = set.Horizon()
 	}
 	eng := sim.NewEngine()
+	eng.SetRecorder(rec)
 	prov := cloud.NewProvider(eng, set, cloudParams)
 	c, err := New(prov, cfg)
 	if err != nil {
@@ -36,6 +47,7 @@ func RunCtx(ctx context.Context, set *market.Set, cloudParams cloud.Params,
 	if err := eng.RunUntilCtx(ctx, horizon); err != nil {
 		return Report{}, err
 	}
+	rec.CloseOpen(eng.Now())
 	rep := c.Report()
 	rep.Seed = cloudParams.Seed
 	return rep, nil

@@ -35,6 +35,7 @@ import (
 	"spothost/internal/metrics"
 	"spothost/internal/scenario"
 	"spothost/internal/sim"
+	"spothost/internal/trace"
 )
 
 // Request-validation bounds, enforced with 400 responses rather than
@@ -76,7 +77,12 @@ type Server struct {
 	logger  *log.Logger
 	sem     chan struct{}
 	serving metrics.Serving
-	mux     *http.ServeMux
+	// traces aggregates simulation histograms (downtime by migration
+	// class, migration latency, spot prices paid) across every run the
+	// server executes; spans are discarded as runs finish, so memory stays
+	// bounded. Rendered into GET /metrics alongside the serving counters.
+	traces *trace.Collector
+	mux    *http.ServeMux
 
 	// runExperiment is a seam for tests to substitute a controllable run.
 	runExperiment func(ctx context.Context, entry experiments.Entry, opts experiments.Options) (experiments.Renderer, error)
@@ -95,6 +101,7 @@ func New(cfg Config) *Server {
 		cfg:    cfg,
 		logger: logger,
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		traces: trace.NewHistogramCollector(),
 		runExperiment: func(ctx context.Context, entry experiments.Entry, opts experiments.Options) (experiments.Renderer, error) {
 			opts.Context = ctx
 			return entry.Run(opts)
@@ -258,6 +265,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.serving.Snapshot().WritePrometheus(w, "spotserve")
+	s.traces.WritePrometheus(w, "spotserve")
 	cs := market.SharedCache().Stats()
 	fmt.Fprintf(w, "# HELP spotserve_market_cache_hits_total Universe lookups served from cache.\n"+
 		"# TYPE spotserve_market_cache_hits_total counter\nspotserve_market_cache_hits_total %d\n", cs.Hits)
@@ -349,6 +357,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if name == "fleet" {
 		kind = "fleet"
 	}
+	opts.Trace = s.traces.Scope(name)
 	done := s.serving.StartKind(kind)
 	start := time.Now()
 	res, err := s.runExperiment(ctx, entry, opts)
@@ -398,7 +407,7 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	}
 	done := s.serving.StartKind(kind)
 	start := time.Now()
-	res, err := sc.RunCtx(ctx)
+	res, err := sc.RunTracedCtx(ctx, s.traces.Scope("scenario"))
 	done(err)
 	s.logger.Printf("run scenario services=%d fleets=%d dur=%s err=%v",
 		len(sc.Services), len(sc.Fleets), time.Since(start).Round(time.Millisecond), err)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -24,7 +25,23 @@ type Serving struct {
 	rejected   uint64
 	inFlight   int64
 	runSeconds float64
+	runCount   uint64
+	runBuckets []uint64 // per-bound counts, aligned with RunSecondsBounds
 	kinds      map[string]*KindStats
+}
+
+// runSecondsBounds are the fixed upper bounds of the run-duration
+// histogram, in seconds. They span sub-second smoke runs through the
+// ten-minute serving deadline; durations beyond the last bound land only
+// in the implicit +Inf bucket.
+var runSecondsBounds = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600}
+
+// RunSecondsBounds returns the histogram's bucket upper bounds (seconds),
+// aligned with ServingStats.RunSecondsBuckets.
+func RunSecondsBounds() []float64 {
+	out := make([]float64, len(runSecondsBounds))
+	copy(out, runSecondsBounds)
+	return out
 }
 
 // KindStats is the per-run-kind counter subset: what the serving layer
@@ -69,6 +86,16 @@ func (s *Serving) StartKind(kind string) (done func(err error)) {
 			defer s.mu.Unlock()
 			s.inFlight--
 			s.runSeconds += d
+			s.runCount++
+			if s.runBuckets == nil {
+				s.runBuckets = make([]uint64, len(runSecondsBounds))
+			}
+			for i, le := range runSecondsBounds {
+				if d <= le {
+					s.runBuckets[i]++
+					break
+				}
+			}
 			k := s.kind(kind)
 			if k != nil {
 				k.InFlight--
@@ -127,6 +154,12 @@ type ServingStats struct {
 	Rejected        uint64
 	InFlight        int64
 	RunSecondsTotal float64
+	// RunSecondsCount is the number of finished runs observed by the
+	// duration histogram; RunSecondsBuckets holds the per-bucket (not
+	// cumulative) counts aligned with RunSecondsBounds(). Runs longer than
+	// the last bound count only toward RunSecondsCount (the +Inf bucket).
+	RunSecondsCount   uint64
+	RunSecondsBuckets []uint64
 	// Kinds breaks the run counters out by run kind (StartKind label).
 	Kinds map[string]KindStats
 }
@@ -143,6 +176,11 @@ func (s *Serving) Snapshot() ServingStats {
 		Rejected:        s.rejected,
 		InFlight:        s.inFlight,
 		RunSecondsTotal: s.runSeconds,
+		RunSecondsCount: s.runCount,
+	}
+	if s.runBuckets != nil {
+		st.RunSecondsBuckets = make([]uint64, len(s.runBuckets))
+		copy(st.RunSecondsBuckets, s.runBuckets)
 	}
 	if len(s.kinds) > 0 {
 		st.Kinds = make(map[string]KindStats, len(s.kinds))
@@ -166,6 +204,18 @@ func (st ServingStats) WritePrometheus(w io.Writer, prefix string) {
 	counter("runs_failed_total", "Runs that returned a non-cancellation error.", st.Failed)
 	counter("runs_rejected_total", "Runs refused at admission control (HTTP 429).", st.Rejected)
 	counter("run_seconds_total", "Total wall-clock seconds spent executing runs.", st.RunSecondsTotal)
+	fmt.Fprintf(w, "# HELP %s_run_seconds Wall-clock run duration distribution.\n# TYPE %s_run_seconds histogram\n",
+		prefix, prefix)
+	var cum uint64
+	for i, le := range runSecondsBounds {
+		if i < len(st.RunSecondsBuckets) {
+			cum += st.RunSecondsBuckets[i]
+		}
+		fmt.Fprintf(w, "%s_run_seconds_bucket{le=%q} %d\n", prefix, trimFloat(le), cum)
+	}
+	fmt.Fprintf(w, "%s_run_seconds_bucket{le=\"+Inf\"} %d\n", prefix, st.RunSecondsCount)
+	fmt.Fprintf(w, "%s_run_seconds_sum %v\n", prefix, st.RunSecondsTotal)
+	fmt.Fprintf(w, "%s_run_seconds_count %d\n", prefix, st.RunSecondsCount)
 	fmt.Fprintf(w, "# HELP %s_runs_in_flight Runs currently executing.\n# TYPE %s_runs_in_flight gauge\n%s_runs_in_flight %d\n",
 		prefix, prefix, prefix, st.InFlight)
 	if len(st.Kinds) == 0 {
@@ -192,4 +242,9 @@ func (st ServingStats) WritePrometheus(w io.Writer, prefix string) {
 	for _, name := range names {
 		fmt.Fprintf(w, "%s_kind_runs_in_flight{kind=%q} %d\n", prefix, name, st.Kinds[name].InFlight)
 	}
+}
+
+// trimFloat renders a bucket bound without trailing zeros ("0.1", "600").
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
 }

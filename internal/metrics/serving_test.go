@@ -76,6 +76,39 @@ func TestServingKinds(t *testing.T) {
 	}
 }
 
+func TestServingRunSecondsHistogram(t *testing.T) {
+	var s Serving
+	s.Start()(nil) // sub-millisecond run: lands in the first bucket
+	st := s.Snapshot()
+	if st.RunSecondsCount != 1 {
+		t.Fatalf("count: %+v", st)
+	}
+	bounds := RunSecondsBounds()
+	if len(st.RunSecondsBuckets) != len(bounds) {
+		t.Fatalf("bucket/bound mismatch: %d vs %d", len(st.RunSecondsBuckets), len(bounds))
+	}
+	if st.RunSecondsBuckets[0] != 1 {
+		t.Fatalf("fast run not in first bucket: %v", st.RunSecondsBuckets)
+	}
+
+	var b strings.Builder
+	st.WritePrometheus(&b, "spotserve")
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE spotserve_run_seconds histogram",
+		`spotserve_run_seconds_bucket{le="0.1"} 1`,
+		`spotserve_run_seconds_bucket{le="600"} 1`,
+		`spotserve_run_seconds_bucket{le="+Inf"} 1`,
+		"spotserve_run_seconds_count 1",
+		"spotserve_run_seconds_sum",
+		"spotserve_run_seconds_total", // legacy counter kept
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestServingWritePrometheus(t *testing.T) {
 	var s Serving
 	s.Start()(nil)

@@ -34,6 +34,7 @@ import (
 	"spothost/internal/sched"
 	"spothost/internal/sim"
 	"spothost/internal/tpcw"
+	"spothost/internal/trace"
 	"spothost/internal/vm"
 )
 
@@ -396,6 +397,14 @@ func (sc Scenario) Run() (Result, error) {
 // within one engine cancellation-poll batch and returns ctx's error, so a
 // serving layer can bound or abandon a scenario run.
 func (sc Scenario) RunCtx(ctx context.Context) (Result, error) {
+	return sc.RunTracedCtx(ctx, nil)
+}
+
+// RunTracedCtx is RunCtx with an optional trace collector: the portfolio
+// records every service onto its own track of one "portfolio" run, and
+// each fleet records into a run named after it. A nil collector traces
+// nothing at no cost.
+func (sc Scenario) RunTracedCtx(ctx context.Context, col *trace.Collector) (Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -409,6 +418,8 @@ func (sc Scenario) RunCtx(ctx context.Context) (Result, error) {
 	var out Result
 	if len(sc.Services) > 0 {
 		p := sched.NewPortfolio(set, cp)
+		prec := col.Run("portfolio")
+		p.SetRecorder(prec)
 		for _, svc := range sc.Services {
 			cfg, err := svc.config()
 			if err != nil {
@@ -426,6 +437,7 @@ func (sc Scenario) RunCtx(ctx context.Context) (Result, error) {
 		if err := p.RunCtx(ctx, horizon); err != nil {
 			return Result{}, err
 		}
+		col.Done(prec)
 		for _, svc := range sc.Services {
 			rep, err := p.Report(svc.Name)
 			if err != nil {
@@ -460,10 +472,12 @@ func (sc Scenario) RunCtx(ctx context.Context) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("scenario: fleet %q: %w", fd.Name, err)
 		}
-		rep, err := fleet.RunCtx(ctx, set, cp, cfg, horizon)
+		frec := col.Run(fd.Name)
+		rep, err := fleet.RunTracedCtx(ctx, set, cp, cfg, horizon, frec)
 		if err != nil {
 			return Result{}, fmt.Errorf("scenario: fleet %q: %w", fd.Name, err)
 		}
+		col.Done(frec)
 		out.Fleets = append(out.Fleets, FleetResult{Name: fd.Name, Report: rep})
 	}
 	return out, nil

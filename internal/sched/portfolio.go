@@ -9,6 +9,7 @@ import (
 	"spothost/internal/market"
 	"spothost/internal/metrics"
 	"spothost/internal/sim"
+	"spothost/internal/trace"
 )
 
 // Portfolio hosts several independent services on one simulated cloud: one
@@ -41,6 +42,12 @@ func NewPortfolio(set *market.Set, params cloud.Params) *Portfolio {
 // examples).
 func (p *Portfolio) Provider() *cloud.Provider { return p.prov }
 
+// SetRecorder attaches a trace recorder to the portfolio's shared engine.
+// Each service records into its own track (named after the service), so a
+// multi-service run exports one process with one lane per service. Attach
+// before Run; a nil recorder is a no-op.
+func (p *Portfolio) SetRecorder(rec *trace.Recorder) { p.eng.SetRecorder(rec) }
+
 // Add registers a named service that starts at time 0. Services must be
 // added before Run.
 func (p *Portfolio) Add(name string, cfg Config) error {
@@ -67,6 +74,7 @@ func (p *Portfolio) AddAt(at sim.Time, name string, cfg Config) error {
 	if err != nil {
 		return fmt.Errorf("sched: service %q: %w", name, err)
 	}
+	s.SetTrack(name)
 	p.scheds[name] = s
 	p.names = append(p.names, name)
 	p.startAt[name] = at
@@ -126,7 +134,11 @@ func (p *Portfolio) RunCtx(ctx context.Context, horizon sim.Duration) error {
 			p.eng.Post(at, s.Stop)
 		}
 	}
-	return p.eng.RunUntilCtx(ctx, horizon)
+	err := p.eng.RunUntilCtx(ctx, horizon)
+	if err == nil {
+		p.eng.Recorder().CloseOpen(p.eng.Now())
+	}
+	return err
 }
 
 // Report returns one service's report.

@@ -9,6 +9,7 @@ import (
 	"spothost/internal/metrics"
 	"spothost/internal/runpool"
 	"spothost/internal/sim"
+	"spothost/internal/trace"
 )
 
 // Run wires up an engine, a provider over the given price set, and a
@@ -25,11 +26,22 @@ func Run(set *market.Set, cloudParams cloud.Params, cfg Config, horizon sim.Dura
 // running to its horizon.
 func RunCtx(ctx context.Context, set *market.Set, cloudParams cloud.Params,
 	cfg Config, horizon sim.Duration) (metrics.Report, error) {
+	return RunTracedCtx(ctx, set, cloudParams, cfg, horizon, nil)
+}
+
+// RunTracedCtx is RunCtx with a trace recorder attached to the run's
+// engine: every layer sharing the engine (provider billing, scheduler
+// migrations, checkpoint daemon) records into it. A nil recorder is
+// exactly RunCtx — the untraced path adds no allocations (see
+// BenchmarkSchedulerMonthTraced).
+func RunTracedCtx(ctx context.Context, set *market.Set, cloudParams cloud.Params,
+	cfg Config, horizon sim.Duration, rec *trace.Recorder) (metrics.Report, error) {
 
 	if horizon <= 0 || horizon > set.Horizon() {
 		horizon = set.Horizon()
 	}
 	eng := sim.NewEngine()
+	eng.SetRecorder(rec)
 	prov := cloud.NewProvider(eng, set, cloudParams)
 	s, err := New(prov, cfg)
 	if err != nil {
@@ -39,6 +51,7 @@ func RunCtx(ctx context.Context, set *market.Set, cloudParams cloud.Params,
 	if err := eng.RunUntilCtx(ctx, horizon); err != nil {
 		return metrics.Report{}, err
 	}
+	rec.CloseOpen(eng.Now())
 	return s.Report(), nil
 }
 
@@ -69,6 +82,16 @@ func RunSeedsParallel(mcfg market.Config, cloudParams cloud.Params, cfg Config,
 // finishing their month-long runs.
 func RunSeedsParallelCtx(ctx context.Context, mcfg market.Config, cloudParams cloud.Params,
 	cfg Config, horizon sim.Duration, seeds []int64, workers int) ([]metrics.Report, error) {
+	return RunSeedsTracedCtx(ctx, mcfg, cloudParams, cfg, horizon, seeds, workers, nil)
+}
+
+// RunSeedsTracedCtx is RunSeedsParallelCtx with a trace collector: each
+// seed's run records into its own recorder (labeled "seed<N>", scoped by
+// the collector) and hands it back on completion, so concurrent runs never
+// share a recorder. A nil collector mints nil recorders and traces
+// nothing.
+func RunSeedsTracedCtx(ctx context.Context, mcfg market.Config, cloudParams cloud.Params,
+	cfg Config, horizon sim.Duration, seeds []int64, workers int, col *trace.Collector) ([]metrics.Report, error) {
 
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("sched: no seeds")
@@ -83,6 +106,11 @@ func RunSeedsParallelCtx(ctx context.Context, mcfg market.Config, cloudParams cl
 		}
 		cp := cloudParams
 		cp.Seed = seed
-		return RunCtx(ctx, set, cp, cfg, horizon)
+		rec := col.Run(fmt.Sprintf("seed%d", seed))
+		rep, err := RunTracedCtx(ctx, set, cp, cfg, horizon, rec)
+		if err == nil {
+			col.Done(rec)
+		}
+		return rep, err
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"spothost/internal/market"
 	"spothost/internal/metrics"
 	"spothost/internal/sim"
+	"spothost/internal/trace"
 	"spothost/internal/vm"
 )
 
@@ -70,6 +71,17 @@ type Scheduler struct {
 	spotSeconds    float64
 	odSeconds      float64
 	bootFallbackOD bool
+
+	// Trace bookkeeping: open span handles into the engine's recorder (all
+	// zero — no-ops — when tracing is off). track labels this service's
+	// lane in multi-service exports (set by Portfolio.Add).
+	track     string
+	bootSpan  trace.SpanID
+	migSpan   trace.SpanID
+	migClass  string
+	downSpan  trace.SpanID
+	downClass string
+	restSpan  trace.SpanID
 }
 
 // New builds a scheduler over an existing provider. The configuration is
@@ -91,6 +103,37 @@ func New(prov *cloud.Provider, cfg Config) (*Scheduler, error) {
 	}
 	s := &Scheduler{cfg: cfg, prov: prov, eng: prov.Engine()}
 	return s, nil
+}
+
+// SetTrack labels this service's lane in trace exports; Portfolio.Add sets
+// it to the service name. Must be called before Start.
+func (s *Scheduler) SetTrack(name string) { s.track = name }
+
+// tracer returns the run's recorder (nil — a valid no-op — when tracing
+// is off). Read lazily from the engine so attachment order doesn't matter.
+func (s *Scheduler) tracer() *trace.Recorder { return s.eng.Recorder() }
+
+// traceDown opens the down span for an unavailability interval, labeled by
+// the migration class that caused it. No-op if one is already open: a
+// forced migration preempting a planned one keeps the original interval.
+func (s *Scheduler) traceDown(class string) {
+	if s.downSpan != 0 {
+		return
+	}
+	s.downClass = class
+	s.downSpan = s.tracer().Begin(trace.KindDown, class, s.track, s.eng.Now())
+}
+
+// traceUp closes the open down span, if any, and feeds the downtime
+// histogram for its class.
+func (s *Scheduler) traceUp() {
+	if s.downSpan == 0 {
+		return
+	}
+	r := s.tracer()
+	d := r.End(s.downSpan, s.eng.Now())
+	r.ObserveDowntime(s.downClass, d)
+	s.downSpan = 0
 }
 
 // Start launches the service. For spot policies it begins in the cheapest
@@ -126,6 +169,9 @@ func (s *Scheduler) Start() {
 
 func (s *Scheduler) bootstrap() {
 	s.phase = phaseBoot
+	if s.bootSpan == 0 {
+		s.bootSpan = s.tracer().Begin(trace.KindBoot, "", s.track, s.eng.Now())
+	}
 	if s.cfg.Bidding == OnDemandOnly {
 		s.bootOnDemand()
 		return
@@ -176,6 +222,8 @@ func (s *Scheduler) bootReady(g *serverGroup) {
 		s.serviceStart = now
 		s.lastPlaceT = now
 	}
+	s.tracer().End(s.bootSpan, now)
+	s.bootSpan = 0
 	s.setPlacement(s.placementOf(g))
 	s.phase = phaseSteady
 	s.logEvent(EvServiceUp, g, "boot complete")
@@ -446,6 +494,11 @@ func (s *Scheduler) beginPlannedMigration(m market.ID, lc cloud.Lifecycle) {
 	}
 	s.phase = phasePlanned
 	s.target = g
+	s.migClass = "planned"
+	if s.group.lifecycle == cloud.OnDemand && lc == cloud.Spot {
+		s.migClass = "reverse"
+	}
+	s.migSpan = s.tracer().Begin(trace.KindMigration, s.migClass, s.track, s.eng.Now())
 	s.logEvent(EvMigrationStart, g, "voluntary destination requested")
 }
 
@@ -456,6 +509,8 @@ func (s *Scheduler) plannedTargetFailed(g *serverGroup) {
 	g.abandon(s.prov)
 	s.target = nil
 	s.phase = phaseSteady
+	s.tracer().EndWith(s.migSpan, s.eng.Now(), "aborted")
+	s.migSpan = 0
 	s.logEvent(EvMigrationAborted, g, "destination failed before hand-off")
 	s.scheduleNextDecision()
 }
@@ -480,6 +535,7 @@ func (s *Scheduler) plannedTargetReady(g *serverGroup) {
 	ev1 := s.eng.Schedule(downAt, func() {
 		if s.phase == phasePlanned && s.target == g && tl.Downtime > 0 {
 			s.down.MarkDown(s.eng.Now())
+			s.traceDown(s.migClass)
 		}
 	})
 	ev2 := s.eng.Schedule(doneAt, func() {
@@ -487,6 +543,7 @@ func (s *Scheduler) plannedTargetReady(g *serverGroup) {
 			return
 		}
 		s.down.MarkUp(s.eng.Now())
+		s.traceUp()
 		s.down.AddDegraded(tl.Degraded)
 		if reverse {
 			s.migrations.Reverse++
@@ -499,6 +556,9 @@ func (s *Scheduler) plannedTargetReady(g *serverGroup) {
 		if tl.MemoryLost {
 			s.migrations.MemoryLost++
 		}
+		r := s.tracer()
+		r.ObserveMigration(s.migClass, r.End(s.migSpan, s.eng.Now()))
+		s.migSpan = 0
 		old := s.group
 		s.group = g
 		s.target = nil
@@ -528,6 +588,8 @@ func (s *Scheduler) cancelPlanned() {
 		s.target.abandon(s.prov)
 		s.target = nil
 	}
+	s.tracer().EndWith(s.migSpan, s.eng.Now(), "aborted")
+	s.migSpan = 0
 }
 
 // --- forced migration ------------------------------------------------------
@@ -582,6 +644,9 @@ func (s *Scheduler) beginForcedMigration(deadline sim.Time) {
 	s.forcedDeadline = deadline
 	s.forcedImageDone = false
 	s.forcedRestoreBegun = false
+	s.tracer().Instant(trace.KindWarning, "", s.track, now)
+	s.migClass = "forced"
+	s.migSpan = s.tracer().Begin(trace.KindMigration, "forced", s.track, now)
 	s.logEvent(EvWarning, s.group, fmt.Sprintf("revocation warning, %.0fs grace", deadline-now))
 	if s.decisionEv != nil {
 		s.eng.Cancel(s.decisionEv)
@@ -603,9 +668,17 @@ func (s *Scheduler) beginForcedMigration(deadline sim.Time) {
 
 	// Suspend at the last safe moment (bounded incremental save), or lose
 	// the memory state at termination.
+	downClass := "forced"
+	if s.cfg.Bidding == PureSpot {
+		// Pure spot has no fallback: the interval that starts at suspend is
+		// time spent waiting for the market, not migrating.
+		downClass = "waiting"
+	}
 	if s.forcedMemLost {
 		s.eng.Post(deadline, func() {
 			s.down.MarkDown(s.eng.Now())
+			s.tracer().Instant(trace.KindSuspend, "memlost", s.track, s.eng.Now())
+			s.traceDown(downClass)
 			s.logEvent(EvSuspend, s.group, "terminated without checkpoint (memory lost)")
 			s.forcedImageDone = true // nothing to save; disk-only restart
 			s.maybeRestore()
@@ -613,6 +686,8 @@ func (s *Scheduler) beginForcedMigration(deadline sim.Time) {
 	} else {
 		s.eng.Post(deadline-tau, func() {
 			s.down.MarkDown(s.eng.Now())
+			s.tracer().Instant(trace.KindSuspend, "checkpoint", s.track, s.eng.Now())
+			s.traceDown(downClass)
 			s.logEvent(EvSuspend, s.group, "suspended for final increment")
 		})
 		s.eng.Post(deadline, func() {
@@ -626,6 +701,8 @@ func (s *Scheduler) beginForcedMigration(deadline sim.Time) {
 		s.eng.Post(deadline, func() {
 			s.phase = phaseWaiting
 			s.setPlacement(placedNone)
+			s.tracer().EndWith(s.migSpan, s.eng.Now(), "pure-spot waiting")
+			s.migSpan = 0
 			s.logEvent(EvWaiting, nil, "pure spot: waiting for the price to drop")
 			s.tryReacquireSpot()
 		})
@@ -702,6 +779,7 @@ func (s *Scheduler) maybeRestore() {
 		downtime = p.FullRestoreTime(s.cfg.Service.VM)
 	}
 	g := s.target
+	s.restSpan = s.tracer().Begin(trace.KindRestore, "", s.track, now)
 	s.logEvent(EvRestore, g, fmt.Sprintf("restore started, %.0fs to resume", downtime))
 	s.eng.Post(now+downtime, func() {
 		if s.phase != phaseForced || s.target != g {
@@ -709,6 +787,12 @@ func (s *Scheduler) maybeRestore() {
 		}
 		s.down.MarkUp(s.eng.Now())
 		s.down.AddDegraded(degraded)
+		r := s.tracer()
+		r.ObserveRestore(r.End(s.restSpan, s.eng.Now()))
+		s.restSpan = 0
+		s.traceUp()
+		r.ObserveMigration("forced", r.End(s.migSpan, s.eng.Now()))
+		s.migSpan = 0
 		s.group = g
 		s.target = nil
 		s.setPlacement(s.placementOf(g))
@@ -763,12 +847,17 @@ func (s *Scheduler) waitingReady(g *serverGroup) {
 		s.bootReady(g)
 		return
 	}
+	s.restSpan = s.tracer().Begin(trace.KindRestore, "", s.track, now)
 	s.eng.Post(now+downtime, func() {
 		if s.group != g || g.abandoned || !g.alive() {
 			return // re-acquired server was lost again mid-restore
 		}
 		s.down.MarkUp(s.eng.Now())
 		s.down.AddDegraded(degraded)
+		r := s.tracer()
+		r.ObserveRestore(r.End(s.restSpan, s.eng.Now()))
+		s.restSpan = 0
+		s.traceUp()
 		s.setPlacement(placedSpot)
 		s.phase = phaseSteady
 		s.logEvent(EvServiceUp, g, "re-acquired spot capacity")
@@ -875,6 +964,9 @@ func (s *Scheduler) Stop() {
 	// An intentional shutdown is not an availability violation: close any
 	// open downtime episode at the stop instant.
 	s.down.MarkUp(s.stoppedAt)
+	s.traceUp()
+	s.tracer().End(s.bootSpan, s.stoppedAt)
+	s.bootSpan = 0
 	s.setPlacement(placedNone)
 	s.phase = phaseStopped
 	s.logEvent(EvStopped, nil, "service stopped")

@@ -16,6 +16,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"spothost/internal/trace"
 )
 
 // Time is a virtual timestamp in seconds since the start of the simulation.
@@ -97,6 +99,11 @@ type Engine struct {
 	ctx       context.Context
 	ctxErr    error
 	pollEvery uint64
+	// rec, when non-nil, is the run's trace recorder. The engine only
+	// carries it — models sharing the engine (provider, scheduler, fleet)
+	// read it via Recorder() so one plumbing point reaches every layer. A
+	// nil recorder no-ops every trace call.
+	rec *trace.Recorder
 }
 
 // CancelPollInterval is the default number of executed events between
@@ -144,6 +151,16 @@ func (e *Engine) release(ev *Event) {
 	*ev = Event{} // drop the fn closure so it can be collected
 	e.free = append(e.free, ev)
 }
+
+// SetRecorder attaches a trace recorder to the engine (nil detaches).
+// Models built on the engine read it back via Recorder at each
+// instrumentation point, so attach before — or after — constructing them.
+func (e *Engine) SetRecorder(r *trace.Recorder) { e.rec = r }
+
+// Recorder returns the attached trace recorder, nil when tracing is off.
+// The nil recorder is a valid no-op receiver, so callers use the result
+// unconditionally.
+func (e *Engine) Recorder() *trace.Recorder { return e.rec }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }

@@ -221,13 +221,15 @@ func (tw *TimeWeighted) Mean() float64 {
 }
 
 // Histogram is a fixed-width-bin histogram over [Lo, Hi); samples outside
-// the range land in saturating under/overflow bins.
+// the range land in saturating under/overflow bins, so Count always equals
+// the number of Add calls and no sample disappears silently.
 type Histogram struct {
 	Lo, Hi    float64
 	Bins      []int
 	Underflow int
 	Overflow  int
 	count     int
+	sum       float64
 }
 
 // NewHistogram returns a histogram with n bins over [lo, hi).
@@ -241,6 +243,7 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 // Add inserts one sample.
 func (h *Histogram) Add(x float64) {
 	h.count++
+	h.sum += x
 	switch {
 	case x < h.Lo:
 		h.Underflow++
@@ -255,8 +258,12 @@ func (h *Histogram) Add(x float64) {
 	}
 }
 
-// Count returns the total number of samples added.
+// Count returns the total number of samples added, including those that
+// fell outside [Lo, Hi).
 func (h *Histogram) Count() int { return h.count }
+
+// Sum returns the sum of all samples added, including out-of-range ones.
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // Fraction returns the fraction of samples falling in bin i.
 func (h *Histogram) Fraction(i int) float64 {
@@ -264,4 +271,55 @@ func (h *Histogram) Fraction(i int) float64 {
 		return 0
 	}
 	return float64(h.Bins[i]) / float64(h.count)
+}
+
+// UnderflowFraction returns the fraction of samples below Lo.
+func (h *Histogram) UnderflowFraction() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.Underflow) / float64(h.count)
+}
+
+// OverflowFraction returns the fraction of samples at or above Hi.
+func (h *Histogram) OverflowFraction() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.Overflow) / float64(h.count)
+}
+
+// BucketUpperBound returns the exclusive upper edge of bin i.
+func (h *Histogram) BucketUpperBound(i int) float64 {
+	return h.Lo + (h.Hi-h.Lo)*float64(i+1)/float64(len(h.Bins))
+}
+
+// Cumulative returns the number of samples at or below bin i's upper edge:
+// the underflow bin plus bins 0..i. This is the Prometheus cumulative-
+// bucket convention; the implicit +Inf bucket is Count().
+func (h *Histogram) Cumulative(i int) int {
+	c := h.Underflow
+	for j := 0; j <= i && j < len(h.Bins); j++ {
+		c += h.Bins[j]
+	}
+	return c
+}
+
+// Merge adds another histogram's samples into h. The two histograms must
+// share the same shape (Lo, Hi, bin count); mismatched shapes panic since
+// merging them bin-by-bin would silently misbin every sample.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Bins) != len(o.Bins) {
+		panic("stats: Merge of mismatched histogram shapes")
+	}
+	for i, n := range o.Bins {
+		h.Bins[i] += n
+	}
+	h.Underflow += o.Underflow
+	h.Overflow += o.Overflow
+	h.count += o.count
+	h.sum += o.sum
 }

@@ -263,3 +263,67 @@ func TestHistogramConservation(t *testing.T) {
 		t.Fatalf("samples lost: %d != %d", total, n)
 	}
 }
+
+func TestHistogramOverflowAccessors(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, -2, 3, 5, 12, 15, 20} {
+		h.Add(x)
+	}
+	if !almost(h.UnderflowFraction(), 2.0/7, 1e-12) {
+		t.Fatalf("underflow fraction = %v", h.UnderflowFraction())
+	}
+	if !almost(h.OverflowFraction(), 3.0/7, 1e-12) {
+		t.Fatalf("overflow fraction = %v", h.OverflowFraction())
+	}
+	if !almost(h.Sum(), 52, 1e-12) {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 1, 3, 5, 12} {
+		h.Add(x)
+	}
+	// underflow=1, bins = [1,1,1,0,0], overflow=1
+	want := []int{2, 3, 4, 4, 4}
+	for i, w := range want {
+		if got := h.Cumulative(i); got != w {
+			t.Fatalf("cumulative(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if ub := h.BucketUpperBound(0); !almost(ub, 2, 1e-12) {
+		t.Fatalf("upper bound 0 = %v", ub)
+	}
+	if ub := h.BucketUpperBound(4); !almost(ub, 10, 1e-12) {
+		t.Fatalf("upper bound 4 = %v", ub)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 10, 5)
+	b := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 1, 3} {
+		a.Add(x)
+	}
+	for _, x := range []float64{5, 12} {
+		b.Add(x)
+	}
+	a.Merge(b)
+	if a.Count() != 5 || a.Underflow != 1 || a.Overflow != 1 {
+		t.Fatalf("merged count=%d under=%d over=%d", a.Count(), a.Underflow, a.Overflow)
+	}
+	if !almost(a.Sum(), 20, 1e-12) {
+		t.Fatalf("merged sum = %v", a.Sum())
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 5 {
+		t.Fatalf("nil merge changed count")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape-mismatch panic")
+		}
+	}()
+	a.Merge(NewHistogram(0, 10, 4))
+}

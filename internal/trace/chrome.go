@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteChrome writes the collected runs as a Chrome trace_event JSON array
+// that loads in chrome://tracing and Perfetto. The time axis is simulated
+// time: one trace microsecond per simulated second × 1e-6, i.e. ts/dur are
+// simulation seconds scaled by 1e6, so the viewer's "1 s" is one simulated
+// second.
+//
+// Each run becomes a process (pid = 1 + its index in label order, named by
+// its run label via a process_name metadata event); each track within a
+// run becomes a named thread. Spans emit as "X" complete events with their
+// class in cat and args; instants emit as "i" events. Output is fully
+// deterministic: runs sort by label and events by recording order within a
+// run.
+func (c *Collector) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[")
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		} else {
+			bw.WriteString("\n")
+			first = false
+		}
+		bw.WriteString(s)
+	}
+	for pidx, rec := range c.sortedRuns() {
+		pid := pidx + 1
+		emit(`{"name":"process_name","ph":"M","pid":` + strconv.Itoa(pid) +
+			`,"tid":0,"args":{"name":` + quoteJSON(rec.Label) + `}}`)
+		tids := map[string]int{}
+		for _, sp := range rec.spans {
+			track := sp.Track
+			if track == "" {
+				track = "run"
+			}
+			tid, ok := tids[track]
+			if !ok {
+				tid = len(tids) + 1
+				tids[track] = tid
+				emit(`{"name":"thread_name","ph":"M","pid":` + strconv.Itoa(pid) +
+					`,"tid":` + strconv.Itoa(tid) + `,"args":{"name":` + quoteJSON(track) + `}}`)
+			}
+			var b strings.Builder
+			b.WriteString(`{"name":`)
+			b.WriteString(quoteJSON(sp.Kind.String()))
+			if sp.Class != "" {
+				b.WriteString(`,"cat":`)
+				b.WriteString(quoteJSON(sp.Class))
+			}
+			if sp.Inst {
+				b.WriteString(`,"ph":"i","s":"t"`)
+			} else {
+				b.WriteString(`,"ph":"X"`)
+			}
+			b.WriteString(`,"pid":`)
+			b.WriteString(strconv.Itoa(pid))
+			b.WriteString(`,"tid":`)
+			b.WriteString(strconv.Itoa(tid))
+			b.WriteString(`,"ts":`)
+			b.WriteString(formatTS(sp.Start))
+			if !sp.Inst {
+				end := sp.End
+				if end < sp.Start {
+					end = sp.Start
+				}
+				b.WriteString(`,"dur":`)
+				b.WriteString(formatTS(end - sp.Start))
+			}
+			if sp.Class != "" || sp.Note != "" {
+				b.WriteString(`,"args":{`)
+				comma := false
+				if sp.Class != "" {
+					b.WriteString(`"class":`)
+					b.WriteString(quoteJSON(sp.Class))
+					comma = true
+				}
+				if sp.Note != "" {
+					if comma {
+						b.WriteString(`,`)
+					}
+					b.WriteString(`"note":`)
+					b.WriteString(quoteJSON(sp.Note))
+				}
+				b.WriteString(`}`)
+			}
+			b.WriteString(`}`)
+			emit(b.String())
+		}
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// formatTS renders a simulated-seconds value as trace microseconds with
+// the shortest exact decimal representation (deterministic across runs).
+func formatTS(secs float64) string {
+	return strconv.FormatFloat(secs*1e6, 'f', -1, 64)
+}
+
+// quoteJSON renders s as a JSON string literal. Labels here are kind
+// names, experiment names and market ids, so the escape set is small but
+// complete for safety.
+func quoteJSON(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		switch {
+		case ch == '"' || ch == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(ch)
+		case ch < 0x20:
+			const hex = "0123456789abcdef"
+			b.WriteString(`\u00`)
+			b.WriteByte(hex[ch>>4])
+			b.WriteByte(hex[ch&0xf])
+		default:
+			b.WriteByte(ch)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Collector mints per-run Recorders and gathers their results for export.
+// It is safe for concurrent use: runs executing in parallel each drive
+// their own Recorder and hand it back via Done. A nil *Collector is a
+// valid no-op whose Run returns a nil Recorder, so trace support threads
+// through every layer at zero cost when tracing is off.
+//
+// Scope returns a view that prefixes run labels (e.g. one scope per
+// experiment), sharing the underlying state. Export order is sorted by run
+// label — labels are derived from deterministic cell coordinates
+// (config index, seed), so exports are byte-identical regardless of the
+// parallelism or completion order of the runs that produced them.
+type Collector struct {
+	shared *collectorShared
+	prefix string
+}
+
+type collectorShared struct {
+	mu        sync.Mutex
+	runs      map[string]*Recorder
+	hist      *HistSet
+	keepSpans bool
+}
+
+// NewCollector returns a collector that retains every run's spans for
+// Chrome/JSONL export — the CLI mode.
+func NewCollector() *Collector {
+	return &Collector{shared: &collectorShared{
+		runs:      map[string]*Recorder{},
+		hist:      NewHistSet(),
+		keepSpans: true,
+	}}
+}
+
+// NewHistogramCollector returns a collector that merges histograms but
+// discards spans as runs complete — the long-lived server mode, whose
+// memory stays bounded no matter how many runs it absorbs.
+func NewHistogramCollector() *Collector {
+	return &Collector{shared: &collectorShared{
+		runs: map[string]*Recorder{},
+		hist: NewHistSet(),
+	}}
+}
+
+// Scope returns a collector view whose runs are labeled prefix + "/" +
+// label, sharing storage with c. A nil collector scopes to nil.
+func (c *Collector) Scope(prefix string) *Collector {
+	if c == nil {
+		return nil
+	}
+	p := prefix
+	if c.prefix != "" {
+		p = c.prefix + "/" + prefix
+	}
+	return &Collector{shared: c.shared, prefix: p}
+}
+
+// Run mints a recorder for one run. A nil collector returns a nil
+// recorder, which no-ops every instrumentation call.
+func (c *Collector) Run(label string) *Recorder {
+	if c == nil {
+		return nil
+	}
+	if c.prefix != "" {
+		label = c.prefix + "/" + label
+	}
+	return NewRecorder(label)
+}
+
+// Done hands a finished run's recorder back for aggregation. It merges the
+// recorder's histograms and, in span-keeping mode, retains its spans under
+// its label (a duplicate label gets a "#n" suffix rather than clobbering).
+// Accepts nil recorders and nil collectors.
+func (c *Collector) Done(rec *Recorder) {
+	if c == nil || rec == nil {
+		return
+	}
+	s := c.shared
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hist.Merge(rec.hist)
+	if !s.keepSpans {
+		return
+	}
+	label := rec.Label
+	for i := 2; ; i++ {
+		if _, taken := s.runs[label]; !taken {
+			break
+		}
+		label = fmt.Sprintf("%s#%d", rec.Label, i)
+	}
+	rec.Label = label
+	s.runs[label] = rec
+}
+
+// HistSnapshot returns a deep copy of the merged histograms.
+func (c *Collector) HistSnapshot() *HistSet {
+	if c == nil {
+		return NewHistSet()
+	}
+	c.shared.mu.Lock()
+	defer c.shared.mu.Unlock()
+	return c.shared.hist.Clone()
+}
+
+// WritePrometheus renders the merged histograms in Prometheus text format
+// with the given metric-name prefix.
+func (c *Collector) WritePrometheus(w io.Writer, prefix string) {
+	c.HistSnapshot().WritePrometheus(w, prefix)
+}
+
+// sortedRuns returns the retained recorders in label order, the canonical
+// export order.
+func (c *Collector) sortedRuns() []*Recorder {
+	c.shared.mu.Lock()
+	defer c.shared.mu.Unlock()
+	labels := make([]string, 0, len(c.shared.runs))
+	for label := range c.shared.runs {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	runs := make([]*Recorder, len(labels))
+	for i, label := range labels {
+		runs[i] = c.shared.runs[label]
+	}
+	return runs
+}
+
+// Export writes the collected trace to w in the named format: "chrome"
+// (default, also accepts "" and "trace_event") or "jsonl".
+func (c *Collector) Export(w io.Writer, format string) error {
+	switch format {
+	case "", "chrome", "trace_event":
+		return c.WriteChrome(w)
+	case "jsonl":
+		return c.WriteJSONL(w)
+	}
+	return fmt.Errorf("trace: unknown export format %q (want chrome or jsonl)", format)
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"spothost/internal/stats"
+)
+
+// Histogram shapes. Every HistSet uses the same shapes so sets merge
+// without rebinning; the saturating overflow bin doubles as the Prometheus
+// +Inf tail (see stats.Histogram.Cumulative).
+func newDowntimeHist() *stats.Histogram   { return stats.NewHistogram(0, 600, 24) } // 25 s bins
+func newMigrationHist() *stats.Histogram  { return stats.NewHistogram(0, 600, 24) } // 25 s bins
+func newSpotPriceHist() *stats.Histogram  { return stats.NewHistogram(0, 2, 40) }   // $0.05 bins
+func newRestoreHist() *stats.Histogram    { return stats.NewHistogram(0, 300, 30) } // 10 s bins
+func newCheckpointHist() *stats.Histogram { return stats.NewHistogram(0, 60, 24) }  // 2.5 s bins
+
+// HistSet bundles one run's (or one merged collection's) histograms:
+// downtime and migration latency keyed by migration class, plus spot price
+// paid, restore and checkpoint durations. The zero value is not usable;
+// construct with NewHistSet.
+type HistSet struct {
+	Downtime   map[string]*stats.Histogram
+	Migration  map[string]*stats.Histogram
+	SpotPrice  *stats.Histogram
+	Restore    *stats.Histogram
+	Checkpoint *stats.Histogram
+}
+
+// NewHistSet returns an empty histogram bundle.
+func NewHistSet() *HistSet {
+	return &HistSet{
+		Downtime:   map[string]*stats.Histogram{},
+		Migration:  map[string]*stats.Histogram{},
+		SpotPrice:  newSpotPriceHist(),
+		Restore:    newRestoreHist(),
+		Checkpoint: newCheckpointHist(),
+	}
+}
+
+// downtime returns the downtime histogram for class, creating it on first
+// use.
+func (h *HistSet) downtime(class string) *stats.Histogram {
+	g, ok := h.Downtime[class]
+	if !ok {
+		g = newDowntimeHist()
+		h.Downtime[class] = g
+	}
+	return g
+}
+
+// migration returns the migration-latency histogram for class, creating it
+// on first use.
+func (h *HistSet) migration(class string) *stats.Histogram {
+	g, ok := h.Migration[class]
+	if !ok {
+		g = newMigrationHist()
+		h.Migration[class] = g
+	}
+	return g
+}
+
+// Merge adds another set's samples into h. Safe against a nil o.
+func (h *HistSet) Merge(o *HistSet) {
+	if o == nil {
+		return
+	}
+	for class, g := range o.Downtime {
+		h.downtime(class).Merge(g)
+	}
+	for class, g := range o.Migration {
+		h.migration(class).Merge(g)
+	}
+	h.SpotPrice.Merge(o.SpotPrice)
+	h.Restore.Merge(o.Restore)
+	h.Checkpoint.Merge(o.Checkpoint)
+}
+
+// Clone returns a deep copy, so snapshots can outlive the live set.
+func (h *HistSet) Clone() *HistSet {
+	c := NewHistSet()
+	c.Merge(h)
+	return c
+}
+
+// WritePrometheus renders the set in the Prometheus text exposition
+// format. Metric names are prefixed with prefix + "_"; the class-keyed
+// histograms carry a {class="..."} label, emitted in sorted class order so
+// output is deterministic.
+func (h *HistSet) WritePrometheus(w io.Writer, prefix string) {
+	writeLabeled(w, prefix+"_downtime_seconds",
+		"Service downtime per event by migration class (simulated seconds).", h.Downtime)
+	writeLabeled(w, prefix+"_migration_seconds",
+		"Migration start-to-done latency by class (simulated seconds).", h.Migration)
+	writePlain(w, prefix+"_spot_price_dollars",
+		"Spot price paid at billing-hour boundaries (dollars/hour).", h.SpotPrice)
+	writePlain(w, prefix+"_restore_seconds",
+		"Checkpoint restore duration (simulated seconds).", h.Restore)
+	writePlain(w, prefix+"_checkpoint_seconds",
+		"Background checkpoint write duration (simulated seconds).", h.Checkpoint)
+}
+
+// formatLE renders a bucket's upper bound the way Prometheus expects.
+func formatLE(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeHistLines emits one histogram's _bucket/_sum/_count series with an
+// optional label pair already rendered into labels (e.g. `class="forced"`).
+func writeHistLines(w io.Writer, name, labels string, g *stats.Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = "{" + labels + "}"
+	}
+	for i := range g.Bins {
+		le := formatLE(g.BucketUpperBound(i))
+		if labels != "" {
+			fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, le, g.Cumulative(i))
+		} else {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, g.Cumulative(i))
+		}
+	}
+	if labels != "" {
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, g.Count())
+	} else {
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, g.Count())
+	}
+	fmt.Fprintf(w, "%s_sum%s %v\n", name, sep, g.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, sep, g.Count())
+}
+
+func writePlain(w io.Writer, name, help string, g *stats.Histogram) {
+	if g.Count() == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	writeHistLines(w, name, "", g)
+}
+
+func writeLabeled(w io.Writer, name, help string, m map[string]*stats.Histogram) {
+	if len(m) == 0 {
+		return
+	}
+	classes := make([]string, 0, len(m))
+	for class := range m {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, class := range classes {
+		writeHistLines(w, name, fmt.Sprintf("class=%q", class), m[class])
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteJSONL writes the collected runs as JSON Lines: one object per span
+// or instant, in the same deterministic order as WriteChrome (runs by
+// label, events by recording order). Times are simulation seconds.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range c.sortedRuns() {
+		for _, sp := range rec.spans {
+			bw.WriteString(`{"run":`)
+			bw.WriteString(quoteJSON(rec.Label))
+			if sp.Track != "" {
+				bw.WriteString(`,"track":`)
+				bw.WriteString(quoteJSON(sp.Track))
+			}
+			bw.WriteString(`,"kind":`)
+			bw.WriteString(quoteJSON(sp.Kind.String()))
+			if sp.Class != "" {
+				bw.WriteString(`,"class":`)
+				bw.WriteString(quoteJSON(sp.Class))
+			}
+			bw.WriteString(`,"start":`)
+			bw.WriteString(strconv.FormatFloat(sp.Start, 'f', -1, 64))
+			if sp.Inst {
+				bw.WriteString(`,"instant":true`)
+			} else {
+				end := sp.End
+				if end < sp.Start {
+					end = sp.Start
+				}
+				bw.WriteString(`,"end":`)
+				bw.WriteString(strconv.FormatFloat(end, 'f', -1, 64))
+			}
+			if sp.Note != "" {
+				bw.WriteString(`,"note":`)
+				bw.WriteString(quoteJSON(sp.Note))
+			}
+			bw.WriteString("}\n")
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phases measures wall-clock time spent in a run's coarse phases (universe
+// load, simulation, report). Call Mark at the end of each phase; String
+// renders "load=120ms sim=3.4s report=8ms total=3.5s" for log lines.
+type Phases struct {
+	start time.Time
+	last  time.Time
+	parts []phasePart
+}
+
+type phasePart struct {
+	label string
+	d     time.Duration
+}
+
+// NewPhases starts the wall clock.
+func NewPhases() *Phases {
+	now := time.Now()
+	return &Phases{start: now, last: now}
+}
+
+// Mark ends the current phase, crediting it with the wall time since the
+// previous Mark (or since NewPhases), and returns that duration.
+func (p *Phases) Mark(label string) time.Duration {
+	now := time.Now()
+	d := now.Sub(p.last)
+	p.last = now
+	p.parts = append(p.parts, phasePart{label: label, d: d})
+	return d
+}
+
+// String renders every marked phase plus the total, each rounded for
+// readability.
+func (p *Phases) String() string {
+	var b strings.Builder
+	for _, part := range p.parts {
+		fmt.Fprintf(&b, "%s=%s ", part.label, round(part.d))
+	}
+	fmt.Fprintf(&b, "total=%s", round(p.last.Sub(p.start)))
+	return b.String()
+}
+
+// round trims a duration to a plottable precision.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	}
+	return d.Round(time.Microsecond)
+}

@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleCollector builds a small two-run trace with every event shape the
+// exporters handle: spans, instants, aborted spans, multiple tracks, and
+// a span left open at stop.
+func sampleCollector() *Collector {
+	col := NewCollector()
+
+	rec := col.Scope("figure6").Run("cfg00/seed23")
+	boot := rec.Begin(KindBoot, "", "svc", 0)
+	rec.End(boot, 90)
+	mig := rec.Begin(KindMigration, "planned", "svc", 3600)
+	rec.Instant(KindBillingHour, "spot", "svc", 3600)
+	down := rec.Begin(KindDown, "planned", "svc", 3650)
+	rec.End(down, 3652.5)
+	rec.End(mig, 3700)
+	rec.ObserveMigration("planned", 100)
+	rec.ObserveDowntime("planned", 2.5)
+	ab := rec.Begin(KindMigration, "reverse", "svc", 7200)
+	rec.EndWith(ab, 7300, "aborted")
+	open := rec.Begin(KindMigration, "forced", "svc", 9000)
+	_ = open
+	rec.CloseOpen(9500)
+	col.Done(rec)
+
+	rec2 := col.Scope("figure6").Run("cfg01/seed23")
+	rec2.Instant(KindWarning, "", "web", 120)
+	rec2.Instant(KindSuspend, "memlost", "web", 240)
+	res := rec2.Begin(KindRestore, "", "db", 250)
+	rec2.End(res, 280)
+	rec2.ObserveRestore(30)
+	rec2.ObserveSpotPrice(0.031)
+	col.Done(rec2)
+	return col
+}
+
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleCollector().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_golden.json", buf.Bytes())
+}
+
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleCollector().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "jsonl_golden.jsonl", buf.Bytes())
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test ./internal/trace -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("export differs from golden %s\ngot:\n%s", path, got)
+	}
+}
+
+func TestExportFormats(t *testing.T) {
+	col := sampleCollector()
+	var chrome, jsonl bytes.Buffer
+	if err := col.Export(&chrome, "chrome"); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Export(&jsonl, "jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(chrome.String(), "[") {
+		t.Fatalf("chrome export not an array: %q", chrome.String()[:20])
+	}
+	if err := col.Export(&chrome, "protobuf"); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var col *Collector
+	rec := col.Scope("x").Run("y")
+	if rec != nil {
+		t.Fatal("nil collector minted a recorder")
+	}
+	id := rec.Begin(KindMigration, "planned", "", 0)
+	if id != 0 {
+		t.Fatalf("nil recorder returned live span id %d", id)
+	}
+	if d := rec.End(id, 10); d != 0 {
+		t.Fatalf("nil End returned %v", d)
+	}
+	rec.Instant(KindWarning, "", "", 0)
+	rec.ObserveDowntime("forced", 1)
+	rec.ObserveMigration("forced", 1)
+	rec.ObserveSpotPrice(0.1)
+	rec.ObserveRestore(1)
+	rec.ObserveCheckpoint(1)
+	rec.CloseOpen(5)
+	col.Done(rec)
+	if got := rec.Spans(); got != nil {
+		t.Fatalf("nil Spans = %v", got)
+	}
+	if s := col.HistSnapshot(); s == nil || s.SpotPrice.Count() != 0 {
+		t.Fatal("nil collector snapshot not empty")
+	}
+}
+
+// TestNilRecorderAllocs pins the untraced hot path at zero allocations:
+// instrumented code calls these unconditionally on every migration,
+// billing tick and downtime interval, so any allocation here would tax
+// every untraced run.
+func TestNilRecorderAllocs(t *testing.T) {
+	var rec *Recorder
+	n := testing.AllocsPerRun(1000, func() {
+		id := rec.Begin(KindMigration, "planned", "svc", 1)
+		rec.Instant(KindBillingHour, "spot", "svc", 2)
+		rec.End(id, 3)
+		rec.EndWith(id, 3, "aborted")
+		rec.ObserveDowntime("planned", 1)
+		rec.ObserveMigration("planned", 1)
+		rec.ObserveSpotPrice(0.1)
+		rec.ObserveRestore(1)
+		rec.ObserveCheckpoint(1)
+		rec.CloseOpen(4)
+	})
+	if n != 0 {
+		t.Fatalf("nil-recorder path allocates %v per run, want 0", n)
+	}
+}
+
+func TestEndSemantics(t *testing.T) {
+	rec := NewRecorder("r")
+	id := rec.Begin(KindMigration, "forced", "", 10)
+	if d := rec.End(id, 25); d != 15 {
+		t.Fatalf("duration = %v", d)
+	}
+	if d := rec.End(id, 30); d != 0 {
+		t.Fatalf("double End returned %v", d)
+	}
+	if d := rec.End(SpanID(99), 30); d != 0 {
+		t.Fatalf("bogus id End returned %v", d)
+	}
+	sp := rec.Spans()
+	if len(sp) != 1 || sp[0].End != 25 {
+		t.Fatalf("spans = %+v", sp)
+	}
+}
+
+func TestCollectorDuplicateLabels(t *testing.T) {
+	col := NewCollector()
+	a := col.Run("same")
+	a.Instant(KindWarning, "", "", 1)
+	b := col.Run("same")
+	b.Instant(KindWarning, "", "", 2)
+	col.Done(a)
+	col.Done(b)
+	runs := col.sortedRuns()
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	if runs[0].Label == runs[1].Label {
+		t.Fatalf("labels collide: %q", runs[0].Label)
+	}
+}
+
+func TestHistogramCollectorDropsSpans(t *testing.T) {
+	col := NewHistogramCollector()
+	rec := col.Run("r")
+	rec.Instant(KindWarning, "", "", 1)
+	rec.ObserveDowntime("forced", 12)
+	col.Done(rec)
+	if got := len(col.sortedRuns()); got != 0 {
+		t.Fatalf("histogram collector kept %d runs", got)
+	}
+	snap := col.HistSnapshot()
+	if snap.Downtime["forced"].Count() != 1 {
+		t.Fatal("histograms not merged")
+	}
+}
+
+func TestHistSetPrometheus(t *testing.T) {
+	h := NewHistSet()
+	h.downtime("forced").Add(30)
+	h.downtime("forced").Add(9999) // overflow -> only the +Inf bucket
+	h.downtime("planned").Add(2)
+	h.migration("reverse").Add(100)
+	h.SpotPrice.Add(0.031)
+	var buf bytes.Buffer
+	h.WritePrometheus(&buf, "spothost")
+	out := buf.String()
+	for _, want := range []string{
+		`spothost_downtime_seconds_bucket{class="forced",le="25"} 0`,
+		`spothost_downtime_seconds_bucket{class="forced",le="50"} 1`,
+		`spothost_downtime_seconds_bucket{class="forced",le="+Inf"} 2`,
+		`spothost_downtime_seconds_sum{class="forced"} 10029`,
+		`spothost_downtime_seconds_count{class="forced"} 2`,
+		`spothost_downtime_seconds_bucket{class="planned",le="25"} 1`,
+		`spothost_migration_seconds_count{class="reverse"} 1`,
+		`spothost_spot_price_dollars_bucket{le="0.05"} 1`,
+		`spothost_spot_price_dollars_count 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "restore_seconds") {
+		t.Fatal("empty histogram emitted")
+	}
+	// classes render in sorted order for deterministic output
+	if strings.Index(out, `class="forced"`) > strings.Index(out, `class="planned"`) {
+		t.Fatal("classes not sorted")
+	}
+}
+
+func TestPhases(t *testing.T) {
+	p := NewPhases()
+	p.Mark("load")
+	p.Mark("sim")
+	s := p.String()
+	for _, want := range []string{"load=", "sim=", "total="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in %q", want, s)
+		}
+	}
+}

@@ -119,6 +119,9 @@ func (d *CheckpointDaemon) writeIncrement() {
 // record accounts one completed write.
 func (d *CheckpointDaemon) record(mb float64) {
 	d.bytesWrittenMB += mb
+	// The write occupied the volume for mb/rate seconds; feed the run's
+	// checkpoint-duration histogram (no-op without a recorder attached).
+	d.eng.Recorder().ObserveCheckpoint(mb / d.p.CheckpointWriteMBps)
 	if d.onWrite != nil {
 		d.onWrite(mb)
 	}
