@@ -1,0 +1,45 @@
+// Steady-state allocation discipline for the hot event loop: once a run is
+// warm, the recurring events (market price changes across the whole
+// universe, hourly billing) must not allocate — the free list, persistent
+// closures, and scratch buffers absorb all of it. This is the loop under
+// BenchmarkSchedulerMonth; the pure-engine counterpart lives in
+// internal/sim (TestSteadyStateEventLoopZeroAllocs).
+package spothost
+
+import (
+	"testing"
+
+	"spothost/internal/cloud"
+	"spothost/internal/market"
+	"spothost/internal/sim"
+)
+
+func TestSteadyStateRunLoopAllocs(t *testing.T) {
+	mcfg := market.DefaultConfig(1)
+	mcfg.Horizon = 40 * sim.Day
+	set, err := market.Generate(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	prov := cloud.NewProvider(eng, set, cloud.DefaultParams(1))
+	home := market.ID{Region: "us-east-1a", Type: "small"}
+	if _, err := prov.RequestOnDemand(home, cloud.Callbacks{}); err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past the point where the event heap, free list, and billing
+	// ledger have reached capacity.
+	horizon := sim.Time(30 * sim.Day)
+	eng.RunUntil(horizon)
+	allocs := testing.AllocsPerRun(5, func() {
+		horizon += sim.Day
+		eng.RunUntil(horizon)
+	})
+	// A day of the warm loop fires thousands of price-change and billing
+	// events. The only allocation permitted is the amortized growth of the
+	// billing ledger's entry slice, which shows up as less than one
+	// allocation per day-long window on average.
+	if allocs >= 1 {
+		t.Fatalf("steady-state run loop allocated %.2f per simulated day, want < 1", allocs)
+	}
+}

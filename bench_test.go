@@ -375,3 +375,112 @@ func BenchmarkTPCWRun(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTraceCursorWalk measures a full monotone walk of a generated
+// trace through a Cursor (the provider clock's access pattern) versus the
+// per-query binary search of BenchmarkTracePriceAtWalk.
+func BenchmarkTraceCursorWalk(b *testing.B) {
+	set, err := market.Generate(market.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := set.Trace(market.ID{Region: "us-east-1a", Type: "small"})
+	step := 5 * sim.Minute
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		c := market.NewCursor(tr)
+		for t := sim.Time(0); t < tr.End(); t += step {
+			acc += c.PriceAt(t)
+		}
+	}
+	_ = acc
+}
+
+// BenchmarkTracePriceAtWalk is the binary-search baseline for
+// BenchmarkTraceCursorWalk.
+func BenchmarkTracePriceAtWalk(b *testing.B) {
+	set, err := market.Generate(market.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := set.Trace(market.ID{Region: "us-east-1a", Type: "small"})
+	step := 5 * sim.Minute
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		for t := sim.Time(0); t < tr.End(); t += step {
+			acc += tr.PriceAt(t)
+		}
+	}
+	_ = acc
+}
+
+// BenchmarkEnvelopeCursorWalk measures a monotone cheapest-market walk over
+// the whole universe through the precomputed envelope, versus scanning
+// every trace at each step (BenchmarkMarketScanWalk) — the scheduler's
+// per-decision loop before the envelope.
+func BenchmarkEnvelopeCursorWalk(b *testing.B) {
+	set, err := market.Generate(market.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := set.IDs()
+	env := set.Envelope(ids, nil)
+	if env == nil {
+		b.Fatal("nil envelope")
+	}
+	step := 5 * sim.Minute
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		c := env.Cursor()
+		for t := sim.Time(0); t < env.End(); t += step {
+			_, p, _ := c.At(t)
+			acc += p
+		}
+	}
+	_ = acc
+}
+
+// BenchmarkMarketScanWalk is the scan-all-markets baseline for
+// BenchmarkEnvelopeCursorWalk.
+func BenchmarkMarketScanWalk(b *testing.B) {
+	set, err := market.Generate(market.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := set.IDs()
+	step := 5 * sim.Minute
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		for t := sim.Time(0); t < set.Horizon(); t += step {
+			best := 0.0
+			for j, id := range ids {
+				if p := set.Trace(id).PriceAt(t); j == 0 || p < best {
+					best = p
+				}
+			}
+			acc += best
+		}
+	}
+	_ = acc
+}
+
+// BenchmarkCorrelationClosedForm measures the exact segment-merge Pearson
+// correlation of two month-long traces (the Fig. 8b/9b statistic).
+func BenchmarkCorrelationClosedForm(b *testing.B) {
+	set, err := market.Generate(market.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ta := set.Trace(market.ID{Region: "us-east-1a", Type: "small"})
+	tb := set.Trace(market.ID{Region: "us-east-1b", Type: "small"})
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += market.Correlation(ta, tb)
+	}
+	_ = acc
+}

@@ -112,8 +112,10 @@ type Instance struct {
 
 	cb Callbacks
 
-	// Billing bookkeeping.
+	// Billing bookkeeping. hourFn is the persistent hourly billing
+	// closure, allocated once at creation and rearmed every hour.
 	hourEvent    *sim.Event
+	hourFn       func()
 	lastHourAt   sim.Time
 	lastHourCost float64
 	charged      float64

@@ -2,7 +2,6 @@ package cloud
 
 import (
 	"fmt"
-	"sort"
 
 	"spothost/internal/market"
 	"spothost/internal/randx"
@@ -19,11 +18,19 @@ type Provider struct {
 	params Params
 	rng    *randx.Stream
 
+	// markets holds the per-market hot-path state: a monotone trace cursor
+	// (the simulation clock only moves forward) and the persistent price-
+	// event closure, so the steady-state price chain allocates nothing.
+	markets map[market.ID]*marketState
+
 	nextID    InstanceID
 	instances map[InstanceID]*Instance
 	// byMarket holds the live spot instances per market for revocation
 	// checks on price changes.
 	byMarket map[market.ID]map[InstanceID]*Instance
+	// spotScratch is reused by liveSpot to snapshot a market's live spot
+	// instances without allocating per price change.
+	spotScratch []*Instance
 
 	ledger Ledger
 
@@ -53,6 +60,7 @@ func NewProvider(eng *sim.Engine, set *market.Set, params Params) *Provider {
 		set:              set,
 		params:           params,
 		rng:              randx.Derive(params.Seed, "cloud/provider"),
+		markets:          map[market.ID]*marketState{},
 		instances:        map[InstanceID]*Instance{},
 		byMarket:         map[market.ID]map[InstanceID]*Instance{},
 		priceSubs:        map[market.ID][]func(sim.Time, float64){},
@@ -60,9 +68,38 @@ func NewProvider(eng *sim.Engine, set *market.Set, params Params) *Provider {
 		spotRequestsOpen: map[SpotRequestID]*SpotRequest{},
 	}
 	for _, id := range set.IDs() {
-		p.scheduleNextPriceChange(id, eng.Now())
+		ms := &marketState{p: p, id: id, cursor: market.NewCursor(set.Trace(id))}
+		ms.stepFn = func() {
+			at, price := ms.nextAt, ms.nextPrice
+			p.onPriceChange(ms.id, price)
+			ms.arm(at)
+		}
+		p.markets[id] = ms
+		ms.arm(eng.Now())
 	}
 	return p
+}
+
+// marketState is the per-market hot-path state: a monotone cursor over the
+// trace and one persistent closure that drives the whole price-event chain.
+type marketState struct {
+	p      *Provider
+	id     market.ID
+	cursor *market.Cursor
+	stepFn func()
+	// nextAt/nextPrice describe the armed price change stepFn will deliver.
+	nextAt    sim.Time
+	nextPrice float64
+}
+
+// arm schedules the next price change strictly after the given time.
+func (ms *marketState) arm(after sim.Time) {
+	at, price, ok := ms.cursor.NextChangeAfter(after)
+	if !ok {
+		return
+	}
+	ms.nextAt, ms.nextPrice = at, price
+	ms.p.eng.Post(at, ms.stepFn)
 }
 
 // Engine returns the simulation engine driving this provider.
@@ -79,6 +116,9 @@ func (p *Provider) Ledger() *Ledger { return &p.ledger }
 
 // SpotPrice returns the current spot price of a market.
 func (p *Provider) SpotPrice(id market.ID) float64 {
+	if ms := p.markets[id]; ms != nil {
+		return ms.cursor.PriceAt(p.eng.Now())
+	}
 	return p.set.Trace(id).PriceAt(p.eng.Now())
 }
 
@@ -99,18 +139,6 @@ func (p *Provider) SubscribePrice(id market.ID, fn func(t sim.Time, price float6
 	p.priceSubs[id] = append(p.priceSubs[id], fn)
 }
 
-func (p *Provider) scheduleNextPriceChange(id market.ID, after sim.Time) {
-	tr := p.set.Trace(id)
-	at, price, ok := tr.NextChangeAfter(after)
-	if !ok {
-		return
-	}
-	p.eng.Post(at, func() {
-		p.onPriceChange(id, price)
-		p.scheduleNextPriceChange(id, at)
-	})
-}
-
 func (p *Provider) onPriceChange(id market.ID, price float64) {
 	now := p.eng.Now()
 	// Revoke or cancel spot instances whose bid the price now exceeds.
@@ -124,17 +152,27 @@ func (p *Provider) onPriceChange(id market.ID, price float64) {
 	}
 }
 
+// liveSpot snapshots a market's live spot instances in deterministic order
+// (ascending instance ID) into a reused scratch buffer. The result is only
+// valid until the next call; the simulation is single-threaded, so the one
+// caller (onPriceChange) finishes with it before anyone else can ask.
 func (p *Provider) liveSpot(id market.ID) []*Instance {
 	m := p.byMarket[id]
 	if len(m) == 0 {
 		return nil
 	}
-	// Deterministic iteration order: ascending instance ID.
-	out := make([]*Instance, 0, len(m))
+	out := p.spotScratch[:0]
 	for _, in := range m {
 		out = append(out, in)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	// Insertion sort: the per-market population is small and this avoids
+	// sort.Slice's closure allocation on every price change.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].id < out[j-1].id; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	p.spotScratch = out
 	return out
 }
 
@@ -156,7 +194,13 @@ func (p *Provider) RequestSpot(id market.ID, bid float64, cb Callbacks) (*Instan
 		return nil, fmt.Errorf("cloud: bid %v exceeds cap %v for %s", bid, max, id)
 	}
 	now := p.eng.Now()
-	if cur := tr.PriceAt(now); cur > bid {
+	var cur float64
+	if ms := p.markets[id]; ms != nil {
+		cur = ms.cursor.PriceAt(now)
+	} else {
+		cur = tr.PriceAt(now)
+	}
+	if cur > bid {
 		return nil, fmt.Errorf("cloud: current price %v above bid %v in %s", cur, bid, id)
 	}
 	p.spotRequests++
@@ -188,6 +232,9 @@ func (p *Provider) newInstance(id market.ID, lc Lifecycle, bid float64, cb Callb
 		requestedAt: p.eng.Now(),
 		cb:          cb,
 	}
+	// One persistent billing closure per instance instead of one per
+	// instance-hour.
+	in.hourFn = func() { p.chargeHour(in) }
 	p.nextID++
 	p.instances[in.id] = in
 	if lc == Spot {
@@ -233,7 +280,11 @@ func (p *Provider) chargeHour(in *Instance) {
 	if in.lifecycle == Spot {
 		// "billed on an hourly basis, based on the spot price (not the
 		// bid price) at the beginning of each hour".
-		rate = p.set.Trace(in.market).PriceAt(now)
+		if ms := p.markets[in.market]; ms != nil {
+			rate = ms.cursor.PriceAt(now)
+		} else {
+			rate = p.set.Trace(in.market).PriceAt(now)
+		}
 		class = "spot"
 		rec.ObserveSpotPrice(rate)
 	}
@@ -245,7 +296,7 @@ func (p *Provider) chargeHour(in *Instance) {
 		At: now, Instance: in.id, Market: in.market,
 		Spot: in.lifecycle == Spot, Kind: ChargeHour, Amount: rate,
 	})
-	in.hourEvent = p.eng.After(sim.Hour, func() { p.chargeHour(in) })
+	in.hourEvent = p.eng.After(sim.Hour, in.hourFn)
 }
 
 // beginRevocation warns a spot instance and schedules its termination

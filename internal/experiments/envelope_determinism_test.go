@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"spothost/internal/fleet"
+	"spothost/internal/sched"
+)
+
+// The rendered experiment output must be byte-identical with the envelope
+// fast path on (the default, "after") and off (the reference linear scans,
+// "before"): the envelope is an access-path optimization, not a policy
+// change. Figure 6 exercises the scheduler's single-service migration
+// policies, Figure 8 the multi-market portfolios, and Fleet the replicated
+// controller's strategies.
+
+func renderFigure6(t *testing.T) string {
+	t.Helper()
+	r, err := Figure6(determinismOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Render()
+}
+
+func TestFigure6EnvelopeByteIdentical(t *testing.T) {
+	after := renderFigure6(t)
+	sched.SetEnvelopeFastPath(false)
+	defer sched.SetEnvelopeFastPath(true)
+	before := renderFigure6(t)
+	if after != before {
+		t.Fatalf("Figure 6 differs with envelope fast path on vs off\n--- on ---\n%s\n--- off ---\n%s", after, before)
+	}
+}
+
+func renderFigure8(t *testing.T) string {
+	t.Helper()
+	r, err := Figure8(determinismOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Render()
+}
+
+func TestFigure8EnvelopeByteIdentical(t *testing.T) {
+	after := renderFigure8(t)
+	sched.SetEnvelopeFastPath(false)
+	defer sched.SetEnvelopeFastPath(true)
+	before := renderFigure8(t)
+	if after != before {
+		t.Fatalf("Figure 8 differs with envelope fast path on vs off\n--- on ---\n%s\n--- off ---\n%s", after, before)
+	}
+}
+
+func renderFleet(t *testing.T) string {
+	t.Helper()
+	r, err := Fleet(determinismOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Render()
+}
+
+func TestFleetEnvelopeByteIdentical(t *testing.T) {
+	after := renderFleet(t)
+	fleet.SetEnvelopeFastPath(false)
+	defer fleet.SetEnvelopeFastPath(true)
+	before := renderFleet(t)
+	if after != before {
+		t.Fatalf("Fleet differs with envelope fast path on vs off\n--- on ---\n%s\n--- off ---\n%s", after, before)
+	}
+}

@@ -11,6 +11,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"spothost/internal/cloud"
@@ -122,6 +123,15 @@ type Controller struct {
 	target   int
 	replicas []*replica // launch order == ascending instance ID
 
+	// Hot-path caches: the shared cheapest-market envelope (only for
+	// strategies whose pick it can reproduce exactly), the persistent tick
+	// closure, and the memoized cheapest on-demand market (on-demand
+	// prices are constants).
+	envCur    *market.EnvelopeCursor
+	tickFn    func()
+	odBest    market.ID
+	odBestSet bool
+
 	// Time-integrated accounting, advanced before every state change.
 	lastAccounted sim.Time
 	targetSecs    float64
@@ -182,8 +192,30 @@ func New(prov *cloud.Provider, cfg Config) (*Controller, error) {
 	for _, id := range sorted {
 		c.marketSecs[id] = &MarketUsage{}
 	}
+	c.tickFn = c.tick
+	if useEnvelope {
+		switch cfg.Strategy.(type) {
+		case LowestPrice, Diversified:
+			// Both place at the first-index cheapest feasible market, which
+			// the precomputed envelope yields in O(1) amortized; see
+			// fastPick for the exact-equivalence argument.
+			if env := prov.Markets().Envelope(sorted, nil); env != nil {
+				c.envCur = env.Cursor()
+			}
+		}
+	}
 	return c, nil
 }
+
+// useEnvelope gates the envelope fast path in fastPick; tests flip it off
+// to prove the fast path places exactly like the full candidate scan.
+var useEnvelope = true
+
+// SetEnvelopeFastPath toggles the envelope fast path. It exists only so
+// cross-package equivalence tests can render experiments against the
+// reference candidate scan; production code leaves the fast path on.
+// Not safe to flip while runs are in flight.
+func SetEnvelopeFastPath(on bool) { useEnvelope = on }
 
 // Start primes the price statistics, subscribes to price changes, runs
 // the first autoscaling tick at the current time and schedules the rest.
@@ -222,7 +254,7 @@ func (c *Controller) tick() {
 	c.reconcile()
 	c.reverseReplace()
 	c.sampleOccupancy(now)
-	c.eng.PostAfter(c.cfg.Tick, c.tick)
+	c.eng.PostAfter(c.cfg.Tick, c.tickFn)
 }
 
 // bid returns the fleet's spot bid for a market: BidMultiple x on-demand,
@@ -288,13 +320,61 @@ func (c *Controller) candidates() []Candidate {
 // cheapestOnDemand returns the configured market with the lowest
 // on-demand price (ties broken by ID order).
 func (c *Controller) cheapestOnDemand() market.ID {
+	if c.odBestSet {
+		return c.odBest // on-demand prices never change
+	}
 	best := c.markets[0]
 	for _, id := range c.markets[1:] {
 		if c.prov.OnDemandPrice(id) < c.prov.OnDemandPrice(best) {
 			best = id
 		}
 	}
+	c.odBest, c.odBestSet = best, true
 	return best
+}
+
+// fastPick resolves the strategy's placement via the precomputed envelope
+// without building a candidate slice. ok=false means the fast path cannot
+// decide and the caller must run the full candidates+Pick scan.
+//
+// Exactness: the envelope yields the FIRST market (in the controller's
+// sorted order — the same order candidates are built in) with the strictly
+// minimal spot price. If that market is feasible (price <= bid), it is in
+// the filtered candidate list and every earlier candidate prices strictly
+// higher, so LowestPrice.Pick returns exactly it; Diversified.Pick does
+// too when it is under the per-market cap. An infeasible argmin (or one at
+// its cap) says nothing about the rest, hence the fallback.
+func (c *Controller) fastPick() (market.ID, float64, bool) {
+	if c.envCur == nil {
+		return market.ID{}, 0, false
+	}
+	id, price, _ := c.envCur.At(c.eng.Now())
+	if price > c.bid(id) {
+		return market.ID{}, 0, false
+	}
+	switch st := c.cfg.Strategy.(type) {
+	case LowestPrice:
+		return id, price, true
+	case Diversified:
+		share := st.MaxShare
+		if share <= 0 || share > 1 {
+			share = DefaultMaxShare
+		}
+		limit := int(math.Ceil(share * float64(c.target)))
+		if limit < 1 {
+			limit = 1
+		}
+		occ := 0
+		for _, r := range c.replicas {
+			if r.spot && r.in.Market() == id {
+				occ++
+			}
+		}
+		if occ < limit {
+			return id, price, true
+		}
+	}
+	return market.ID{}, 0, false
 }
 
 // reconcile launches replicas to cover a capacity deficit and retires
@@ -317,25 +397,30 @@ func (c *Controller) reconcile() {
 // launch starts one replica. replaces, when non-nil, marks a reverse
 // replacement draining that on-demand replica.
 func (c *Controller) launch(replaces *replica) {
-	cands := c.candidates()
-	if len(cands) > 0 {
-		id, ok := c.cfg.Strategy.Pick(cands, c.target)
-		if ok {
-			r := &replica{spot: true, replaces: replaces}
-			in, err := c.prov.RequestSpot(id, c.bid(id), c.callbacks(r))
-			if err == nil {
-				r.in = in
-				if rec := c.eng.Recorder(); rec != nil {
-					class := "spot"
-					if replaces != nil {
-						class = "reverse"
-					}
-					r.span = rec.Begin(trace.KindLaunch, class, in.Market().String(), c.eng.Now())
+	id, _, havePick := c.fastPick()
+	if !havePick {
+		// Slow path: build the filtered candidate slice and ask the
+		// strategy (required for StabilityOptimized and whenever the
+		// envelope's global argmin is infeasible or capped).
+		if cands := c.candidates(); len(cands) > 0 {
+			id, havePick = c.cfg.Strategy.Pick(cands, c.target)
+		}
+	}
+	if havePick {
+		r := &replica{spot: true, replaces: replaces}
+		in, err := c.prov.RequestSpot(id, c.bid(id), c.callbacks(r))
+		if err == nil {
+			r.in = in
+			if rec := c.eng.Recorder(); rec != nil {
+				class := "spot"
+				if replaces != nil {
+					class = "reverse"
 				}
-				c.launches++
-				c.replicas = append(c.replicas, r)
-				return
+				r.span = rec.Begin(trace.KindLaunch, class, in.Market().String(), c.eng.Now())
 			}
+			c.launches++
+			c.replicas = append(c.replicas, r)
+			return
 		}
 	}
 	if replaces != nil {
@@ -428,23 +513,25 @@ func (c *Controller) reverseReplace() {
 		if r.spot || r.draining || r.doomed || !r.in.Alive() {
 			continue
 		}
-		cands := c.candidates()
-		if len(cands) == 0 {
-			return
-		}
-		id, ok := c.cfg.Strategy.Pick(cands, c.target)
-		if !ok {
-			return
-		}
-		var pick Candidate
-		for _, cand := range cands {
-			if cand.ID == id {
-				pick = cand
-				break
+		_, pickSpot, havePick := c.fastPick()
+		if !havePick {
+			cands := c.candidates()
+			if len(cands) == 0 {
+				return
+			}
+			id, ok := c.cfg.Strategy.Pick(cands, c.target)
+			if !ok {
+				return
+			}
+			for _, cand := range cands {
+				if cand.ID == id {
+					pickSpot = cand.Spot
+					break
+				}
 			}
 		}
 		odPrice := c.prov.OnDemandPrice(r.in.Market())
-		if pick.Spot >= (1-c.cfg.ReverseHysteresis)*odPrice {
+		if pickSpot >= (1-c.cfg.ReverseHysteresis)*odPrice {
 			return // best spot offer not cheap enough yet
 		}
 		before := len(c.replicas)

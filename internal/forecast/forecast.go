@@ -120,10 +120,13 @@ func TrailingStd(tr *market.Trace, t sim.Time, window, step sim.Duration) float6
 	if start < tr.Start() {
 		start = tr.Start()
 	}
+	// The grid is walked in time order, so one cursor makes every lookup
+	// O(1) amortized instead of a binary search per sample.
+	cur := market.NewCursor(tr)
 	var n int
 	var mean, m2 float64
 	for s := start; s <= t; s += step {
-		x := tr.PriceAt(s)
+		x := cur.PriceAt(s)
 		n++
 		d := x - mean
 		mean += d / float64(n)
@@ -160,10 +163,11 @@ func ExcursionRate(tr *market.Trace, t sim.Time, window sim.Duration, threshold 
 		return 0
 	}
 	crossings := 0
-	prev := tr.PriceAt(start)
+	c := market.NewCursor(tr)
+	prev := c.PriceAt(start)
 	cur := start
 	for {
-		nt, np, ok := tr.NextChangeAfter(cur)
+		nt, np, ok := c.NextChangeAfter(cur)
 		if !ok || nt > t {
 			break
 		}

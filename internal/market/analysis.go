@@ -5,32 +5,85 @@ import (
 	"spothost/internal/stats"
 )
 
-// DefaultSampleStep is the grid used when sampling traces for correlation
-// and standard-deviation statistics (5 minutes, matching typical spot
-// price history granularity).
+// DefaultSampleStep is the grid formerly used to sample traces for
+// correlation and standard-deviation statistics (5 minutes, matching
+// typical spot price history granularity). The statistics below are now
+// exact closed forms over the piecewise-constant segments; the grid
+// remains as the slow-path reference their property tests compare against.
 const DefaultSampleStep sim.Duration = 5 * sim.Minute
 
-// Correlation returns the Pearson correlation coefficient between two
-// traces sampled on a common grid over their shared horizon. It mirrors
-// the statistic behind Fig. 8(b) and Fig. 9(b).
+// Correlation returns the exact time-weighted Pearson correlation between
+// two traces over their shared horizon [0, min end), computed by a
+// two-pointer merge over the piecewise-constant segments — the statistic
+// behind Fig. 8(b) and Fig. 9(b), without discretization error.
 func Correlation(a, b *Trace) float64 {
 	end := a.End()
 	if b.End() < end {
 		end = b.End()
 	}
-	xs := a.Sample(0, end, DefaultSampleStep)
-	ys := b.Sample(0, end, DefaultSampleStep)
-	r, err := stats.Pearson(xs, ys)
-	if err != nil {
+	if end <= 0 {
 		return 0
 	}
-	return r
+	ap, bp := a.points, b.points
+	ia, ib := 0, 0 // index of the segment in effect at t (clamped to 0)
+	t := sim.Time(0)
+	for ia+1 < len(ap) && ap[ia+1].T <= t {
+		ia++
+	}
+	for ib+1 < len(bp) && bp[ib+1].T <= t {
+		ib++
+	}
+	pa, pb := ap[ia].Price, bp[ib].Price
+	var pair stats.WeightedPair
+	for t < end {
+		nt := end
+		if ia+1 < len(ap) && ap[ia+1].T < nt {
+			nt = ap[ia+1].T
+		}
+		if ib+1 < len(bp) && bp[ib+1].T < nt {
+			nt = bp[ib+1].T
+		}
+		pair.Add(pa, pb, nt-t)
+		t = nt
+		for ia+1 < len(ap) && ap[ia+1].T <= t {
+			ia++
+			pa = ap[ia].Price
+		}
+		for ib+1 < len(bp) && bp[ib+1].T <= t {
+			ib++
+			pb = bp[ib].Price
+		}
+	}
+	return pair.Pearson()
 }
 
-// StdDev returns the sampled standard deviation of a trace's price — the
-// per-market variability statistic of Fig. 10.
+// StdDev returns the exact time-weighted standard deviation of a trace's
+// price over [0, End) — the per-market variability statistic of Fig. 10,
+// computed in closed form over the trace segments.
 func StdDev(tr *Trace) float64 {
-	return stats.Std(tr.Sample(0, tr.End(), DefaultSampleStep))
+	end := tr.End()
+	if end <= 0 {
+		return 0
+	}
+	pts := tr.points
+	var m stats.WeightedMoments
+	t := sim.Time(0)
+	i := 0
+	for i+1 < len(pts) && pts[i+1].T <= t {
+		i++
+	}
+	for t < end {
+		nt := end
+		if i+1 < len(pts) && pts[i+1].T < nt {
+			nt = pts[i+1].T
+		}
+		m.Add(pts[i].Price, nt-t)
+		t = nt
+		for i+1 < len(pts) && pts[i+1].T <= t {
+			i++
+		}
+	}
+	return m.PopStd()
 }
 
 // PairwiseAvgCorrelation returns the mean Pearson correlation over all

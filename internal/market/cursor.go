@@ -1,0 +1,85 @@
+package market
+
+import (
+	"sort"
+
+	"spothost/internal/sim"
+)
+
+// cursorGallopLimit bounds the linear advance of a cursor seek: after this
+// many steps the remaining distance is covered by one binary search, so a
+// single far-forward query costs O(log n) instead of O(n) while the common
+// one-segment advance stays O(1).
+const cursorGallopLimit = 32
+
+// Cursor is a stateful iterator over one trace, optimized for the
+// forward-moving clocks of a simulation. Queries at non-decreasing times
+// cost O(1) amortized (each trace segment is crossed at most once);
+// occasional backward queries re-seek with a binary search and remain
+// correct. A Cursor returns exactly the same values as Trace.PriceAt and
+// Trace.NextChangeAfter at every time.
+//
+// A Cursor is NOT safe for concurrent use; each goroutine (each simulation
+// run) must own its own cursors. The underlying Trace stays shared and
+// immutable.
+type Cursor struct {
+	tr *Trace
+	i  int // index of the last point with T <= the last queried time (clamped to 0)
+}
+
+// NewCursor returns a cursor positioned at the start of the trace.
+func NewCursor(tr *Trace) *Cursor { return &Cursor{tr: tr} }
+
+// Trace returns the trace this cursor iterates over.
+func (c *Cursor) Trace() *Trace { return c.tr }
+
+// seek moves the cursor so that c.i is the index of the last point with
+// T <= t, clamped to 0 for times before the first point.
+func (c *Cursor) seek(t sim.Time) {
+	pts := c.tr.points
+	i := c.i
+	if pts[i].T > t {
+		// Backward query (or a query before the first point): binary
+		// search from scratch.
+		i = sort.Search(len(pts), func(j int) bool { return pts[j].T > t }) - 1
+		if i < 0 {
+			i = 0
+		}
+		c.i = i
+		return
+	}
+	steps := 0
+	for i+1 < len(pts) && pts[i+1].T <= t {
+		i++
+		steps++
+		if steps == cursorGallopLimit {
+			// Far forward jump: finish with a binary search over the tail.
+			rest := pts[i+1:]
+			i += sort.Search(len(rest), func(j int) bool { return rest[j].T > t })
+			break
+		}
+	}
+	c.i = i
+}
+
+// PriceAt returns the price in effect at time t, identical to
+// Trace.PriceAt.
+func (c *Cursor) PriceAt(t sim.Time) float64 {
+	c.seek(t)
+	return c.tr.points[c.i].Price
+}
+
+// NextChangeAfter returns the time and price of the first step strictly
+// after t, identical to Trace.NextChangeAfter.
+func (c *Cursor) NextChangeAfter(t sim.Time) (at sim.Time, price float64, ok bool) {
+	c.seek(t)
+	pts := c.tr.points
+	if pts[c.i].T > t {
+		// t is before the first point; the first point is the next change.
+		return pts[c.i].T, pts[c.i].Price, true
+	}
+	if c.i+1 >= len(pts) {
+		return 0, 0, false
+	}
+	return pts[c.i+1].T, pts[c.i+1].Price, true
+}

@@ -21,6 +21,9 @@ package market
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
 	"spothost/internal/sim"
 )
@@ -119,16 +122,25 @@ func (tr *Trace) NextChangeAfter(t sim.Time) (at sim.Time, price float64, ok boo
 }
 
 // Sample evaluates the trace on a uniform grid [start, end) with the given
-// step and returns the sampled prices. Used for correlation and standard
-// deviation statistics (Fig. 8b, 9b, 10).
+// step and returns the sampled prices. The statistics of Fig. 8b, 9b and 10
+// are now computed in closed form (see analysis.go); Sample remains as the
+// slow-path reference those property tests compare against.
 func (tr *Trace) Sample(start, end sim.Time, step sim.Duration) []float64 {
 	if step <= 0 || end <= start {
 		return nil
 	}
 	n := int((end - start) / step)
 	out := make([]float64, 0, n)
+	pts := tr.points
+	i := sort.Search(len(pts), func(j int) bool { return pts[j].T > start }) - 1
+	if i < 0 {
+		i = 0 // grid points before the first step clamp to the first price
+	}
 	for t := start; t < end; t += step {
-		out = append(out, tr.PriceAt(t))
+		for i+1 < len(pts) && pts[i+1].T <= t {
+			i++
+		}
+		out = append(out, pts[i].Price)
 	}
 	return out
 }
@@ -145,18 +157,20 @@ func (tr *Trace) TimeWeightedMean(start, end sim.Time) float64 {
 	if end <= start {
 		return tr.PriceAt(start)
 	}
+	pts := tr.points
+	i := sort.Search(len(pts), func(j int) bool { return pts[j].T > start }) - 1
+	if i < 0 {
+		i = 0
+	}
 	total := 0.0
 	t := start
-	p := tr.PriceAt(start)
-	for {
-		nt, np, ok := tr.NextChangeAfter(t)
-		if !ok || nt >= end {
-			total += p * (end - t)
-			break
-		}
-		total += p * (nt - t)
-		t, p = nt, np
+	p := pts[i].Price
+	for i+1 < len(pts) && pts[i+1].T < end {
+		total += p * (pts[i+1].T - t)
+		t, p = pts[i+1].T, pts[i+1].Price
+		i++
 	}
+	total += p * (end - t)
 	return total / (end - start)
 }
 
@@ -173,22 +187,27 @@ func (tr *Trace) FractionAbove(threshold float64, start, end sim.Time) float64 {
 	if end <= start {
 		return 0
 	}
+	pts := tr.points
+	i := sort.Search(len(pts), func(j int) bool { return pts[j].T > start }) - 1
+	if i < 0 {
+		i = 0
+	}
 	above := 0.0
 	t := start
-	p := tr.PriceAt(start)
+	p := pts[i].Price
 	for {
-		nt, np, ok := tr.NextChangeAfter(t)
 		seg := end
-		if ok && nt < end {
-			seg = nt
+		if i+1 < len(pts) && pts[i+1].T < end {
+			seg = pts[i+1].T
 		}
 		if p > threshold {
 			above += seg - t
 		}
-		if !ok || nt >= end {
+		if i+1 >= len(pts) || pts[i+1].T >= end {
 			break
 		}
-		t, p = nt, np
+		i++
+		t, p = pts[i].T, pts[i].Price
 	}
 	frac := above / (end - start)
 	// Clamp float accumulation error: the result is a fraction by
@@ -231,6 +250,52 @@ type Set struct {
 	onDemand map[ID]float64
 	start    sim.Time
 	end      sim.Time
+
+	// Lower-envelope memoization: sets are immutable once built and shared
+	// across runs via market.Cache, so each (candidates, weights) envelope
+	// is built once and reused by every concurrent simulation.
+	envMu sync.Mutex
+	envs  map[string]*envEntry
+}
+
+type envEntry struct {
+	once sync.Once
+	env  *Envelope
+}
+
+// Envelope returns the precomputed lower envelope over the given candidate
+// markets, memoized on the set. weights scales each candidate's price when
+// comparing (nil means all 1). The result is shared and immutable; use
+// Envelope.Cursor for monotone queries. Returns nil when ids is empty or
+// any id has no trace in the set.
+func (s *Set) Envelope(ids []ID, weights []float64) *Envelope {
+	if len(ids) == 0 || (weights != nil && len(weights) != len(ids)) {
+		return nil
+	}
+	var key strings.Builder
+	for i, id := range ids {
+		key.WriteString(id.String())
+		key.WriteByte('|')
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		key.WriteString(strconv.FormatFloat(w, 'g', -1, 64))
+		key.WriteByte(';')
+	}
+	k := key.String()
+	s.envMu.Lock()
+	e, ok := s.envs[k]
+	if !ok {
+		if s.envs == nil {
+			s.envs = map[string]*envEntry{}
+		}
+		e = &envEntry{}
+		s.envs[k] = e
+	}
+	s.envMu.Unlock()
+	e.once.Do(func() { e.env = buildEnvelope(s, ids, weights) })
+	return e.env
 }
 
 // NewSet assembles a Set from traces and an on-demand price catalog. Every

@@ -54,8 +54,17 @@ type Scheduler struct {
 	forcedDeadline     sim.Time
 
 	decisionEv     *sim.Event
+	decideFn       func()       // persistent s.decide closure for scheduling
 	pendingTimers  []*sim.Event // planned-migration timers, cancelable on abort
 	volatility     map[market.ID]*forecast.DecayingMoments
+
+	// Hot-path caches: the precomputed cheapest-market envelope over the
+	// candidate set (nil under stability-aware bidding, whose volatility
+	// term is not precomputable) and the memoized cheapest on-demand
+	// market (on-demand prices are constants).
+	envCur    *market.EnvelopeCursor
+	odBest    market.ID
+	odBestSet bool
 	ckptDaemon     *vm.CheckpointDaemon
 	ckptWrittenMB  float64
 	events         []Event
@@ -102,8 +111,20 @@ func New(prov *cloud.Provider, cfg Config) (*Scheduler, error) {
 		}
 	}
 	s := &Scheduler{cfg: cfg, prov: prov, eng: prov.Engine()}
+	s.decideFn = s.decide
 	return s, nil
 }
+
+// useEnvelope gates the precomputed-envelope fast path in bestSpotMarket;
+// tests flip it off to prove the fast path picks exactly what the linear
+// scan picks.
+var useEnvelope = true
+
+// SetEnvelopeFastPath toggles the precomputed-envelope fast path. It exists
+// only so cross-package equivalence tests can render experiments against
+// the reference linear scan; production code leaves the fast path on.
+// Not safe to flip while runs are in flight.
+func SetEnvelopeFastPath(on bool) { useEnvelope = on }
 
 // SetTrack labels this service's lane in trace exports; Portfolio.Add sets
 // it to the service name. Must be called before Start.
@@ -148,6 +169,19 @@ func (s *Scheduler) Start() {
 					s.tryReacquireSpot()
 				}
 			})
+		}
+	}
+	if s.cfg.StabilityPenalty == 0 && useEnvelope {
+		// Precompute the lower envelope of the candidate markets' weighted
+		// (servers x price) hourly costs. It is memoized on the immutable
+		// market set, so concurrent runs over the same universe share one
+		// build; the per-run cursor makes each scan O(1) amortized.
+		weights := make([]float64, len(s.cfg.Markets))
+		for i, m := range s.cfg.Markets {
+			weights[i] = float64(s.cfg.serversFor(m.Type))
+		}
+		if env := s.prov.Markets().Envelope(s.cfg.Markets, weights); env != nil {
+			s.envCur = env.Cursor()
 		}
 	}
 	if s.cfg.StabilityPenalty > 0 {
@@ -277,6 +311,21 @@ func (s *Scheduler) hourlyCost(m market.ID, lc cloud.Lifecycle) float64 {
 // The score is the hourly cost, plus — under stability-aware bidding — a
 // penalty proportional to the market's recent price volatility.
 func (s *Scheduler) bestSpotMarket(budget float64) (market.ID, bool) {
+	if s.envCur != nil {
+		// Fast path: the envelope yields the first-index argmin of the
+		// weighted price over ALL candidates. If it is grantable, it is
+		// exactly the market the linear scan below would pick (every
+		// earlier candidate scores strictly higher); if its score is not
+		// under budget, nothing qualifies. Only a non-grantable argmin
+		// (price spiked above its own bid) needs the full scan.
+		m, price, weighted := s.envCur.At(s.eng.Now())
+		if price <= s.bidFor(m) {
+			if weighted < budget {
+				return m, true
+			}
+			return market.ID{}, false
+		}
+	}
 	var best market.ID
 	bestScore := budget
 	found := false
@@ -303,6 +352,9 @@ func (s *Scheduler) bestSpotMarket(budget float64) (market.ID, bool) {
 // on-demand hourly cost for the service; the home market is always a
 // candidate.
 func (s *Scheduler) cheapestOnDemand() market.ID {
+	if s.odBestSet {
+		return s.odBest // on-demand prices never change
+	}
 	best := s.cfg.Home
 	bestCost := s.hourlyCost(best, cloud.OnDemand)
 	for _, m := range s.cfg.Markets {
@@ -310,6 +362,7 @@ func (s *Scheduler) cheapestOnDemand() market.ID {
 			best, bestCost = m, c
 		}
 	}
+	s.odBest, s.odBestSet = best, true
 	return best
 }
 
@@ -431,7 +484,7 @@ func (s *Scheduler) scheduleNextDecision() {
 		boundary += sim.Hour
 		at = boundary - s.decisionLead()
 	}
-	s.decisionEv = s.eng.Schedule(at, s.decide)
+	s.decisionEv = s.eng.Schedule(at, s.decideFn)
 }
 
 // decide evaluates the market and begins a voluntary migration when a

@@ -91,7 +91,12 @@ type Engine struct {
 	// free recycles Event structs of fired Post events. Only handle-less
 	// (pooled) events return here, so a recycled struct can never alias a
 	// *Event a caller still holds; both Schedule and Post draw from it.
-	free []*Event
+	// Refills allocate slabs that double in size (slabSize, capped at
+	// maxSlabSize), so an engine whose in-flight working set outgrows the
+	// seed reaches zero-alloc steady state after O(log n) slab allocations
+	// instead of one allocation per event.
+	free     []*Event
+	slabSize int
 	// ctx, when non-nil, is polled every pollEvery executed events; a
 	// canceled context halts the run loop and is reported by Err. Polling
 	// between events (never mid-event) keeps the event order — and hence
@@ -113,34 +118,48 @@ type Engine struct {
 // measure.
 const CancelPollInterval = 1024
 
-// freelistSeed is the number of Event structs preallocated per engine; the
-// hot loop's working set (in-flight fire-and-forget events) rarely exceeds
-// it, so steady-state Post traffic allocates nothing.
+// freelistSeed is the number of Event structs in the first slab; the hot
+// loop's working set (in-flight fire-and-forget events) rarely exceeds it,
+// so steady-state Post traffic allocates nothing.
 const freelistSeed = 64
+
+// maxSlabSize caps the geometric slab growth so a pathological burst does
+// not commit unbounded memory in one step.
+const maxSlabSize = 8192
 
 // NewEngine returns an empty engine with its clock at 0 and a preallocated
 // event free-list.
 func NewEngine() *Engine {
 	e := &Engine{}
-	slab := make([]Event, freelistSeed)
-	e.free = make([]*Event, freelistSeed)
-	for i := range slab {
-		e.free[i] = &slab[i]
-	}
+	e.refill()
 	return e
 }
 
-// acquire returns an Event from the free list, or a fresh allocation when
-// the list is empty.
-func (e *Engine) acquire(at Time, fn func(), pooled bool) *Event {
-	var ev *Event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-	} else {
-		ev = &Event{}
+// refill grows the free list by one slab, doubling the slab size (up to
+// maxSlabSize) on each refill.
+func (e *Engine) refill() {
+	if e.slabSize == 0 {
+		e.slabSize = freelistSeed
+	} else if e.slabSize < maxSlabSize {
+		e.slabSize *= 2
 	}
+	slab := make([]Event, e.slabSize)
+	for i := range slab {
+		e.free = append(e.free, &slab[i])
+	}
+}
+
+// acquire returns an Event from the free list, refilling it with a fresh
+// slab when empty.
+func (e *Engine) acquire(at Time, fn func(), pooled bool) *Event {
+	n := len(e.free)
+	if n == 0 {
+		e.refill()
+		n = len(e.free)
+	}
+	ev := e.free[n-1]
+	e.free[n-1] = nil
+	e.free = e.free[:n-1]
 	*ev = Event{at: at, seq: e.seq, fn: fn, pooled: pooled}
 	e.seq++
 	return ev

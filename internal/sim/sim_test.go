@@ -302,3 +302,60 @@ func TestCancelUnaffectedByRecycling(t *testing.T) {
 		t.Fatal("later event did not fire")
 	}
 }
+
+func TestFreeListGrowsGeometrically(t *testing.T) {
+	// A burst of in-flight pooled events far beyond the seed should be
+	// served by O(log n) doubling slab refills, not one allocation per
+	// event, and the structs all recycle once the burst drains.
+	e := NewEngine()
+	const burst = 1000
+	for i := 0; i < burst; i++ {
+		e.Post(Time(i), func() {})
+	}
+	if e.slabSize < 512 {
+		t.Fatalf("slabSize = %d after %d in-flight events, want >= 512", e.slabSize, burst)
+	}
+	e.Run()
+	if len(e.free) < burst {
+		t.Fatalf("free list holds %d events after drain, want >= %d", len(e.free), burst)
+	}
+}
+
+func TestFreeListSlabCap(t *testing.T) {
+	// Slab growth is capped so one pathological burst cannot commit
+	// unbounded memory in a single refill.
+	e := NewEngine()
+	for i := 0; i < 5*maxSlabSize; i++ {
+		e.Post(Time(i), func() {})
+	}
+	if e.slabSize != maxSlabSize {
+		t.Fatalf("slabSize = %d, want capped at %d", e.slabSize, maxSlabSize)
+	}
+	e.Run()
+}
+
+func TestSteadyStateEventLoopZeroAllocs(t *testing.T) {
+	// The event machinery underneath the hot loops (price chains, billing,
+	// checkpoint daemons — see BenchmarkSchedulerMonth) must not allocate
+	// per event once warm: pooled events recycle through the free list and
+	// the heap stays at capacity.
+	e := NewEngine()
+	var fired int
+	var step func()
+	step = func() {
+		fired++
+		e.PostAfter(1, step)
+	}
+	for i := 0; i < 32; i++ {
+		e.Post(Time(i), step)
+	}
+	horizon := Time(1000)
+	e.RunUntil(horizon)
+	allocs := testing.AllocsPerRun(5, func() {
+		horizon += 1000
+		e.RunUntil(horizon)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state event loop allocated %.2f per window, want 0", allocs)
+	}
+}

@@ -32,6 +32,12 @@ type CheckpointDaemon struct {
 	busyMB          float64 // dirtied while a write was in flight
 
 	onWrite func(mb float64) // optional observer for I/O accounting
+
+	// Persistent closures for the steady-state incremental cycle, allocated
+	// once at construction so the periodic tick posts nothing new.
+	incrFn     func()  // arms writeIncrement
+	incrDoneFn func()  // completes the in-flight incremental write
+	pendingMB  float64 // size of the in-flight incremental write
 }
 
 // NewCheckpointDaemon creates a daemon for one VM. Call Start to begin the
@@ -43,7 +49,18 @@ func NewCheckpointDaemon(eng *sim.Engine, spec Spec, p Params) (*CheckpointDaemo
 	if p.CheckpointBound <= 0 {
 		return nil, fmt.Errorf("vm: checkpoint bound must be positive, got %v", p.CheckpointBound)
 	}
-	return &CheckpointDaemon{eng: eng, spec: spec, p: p}, nil
+	d := &CheckpointDaemon{eng: eng, spec: spec, p: p}
+	d.incrFn = d.writeIncrement
+	d.incrDoneFn = func() {
+		if d.stopped {
+			return
+		}
+		d.writing = false
+		d.incrementals++
+		d.record(d.pendingMB)
+		d.scheduleNext()
+	}
+	return d, nil
 }
 
 // OnWrite registers an observer invoked with the size (MB) of every
@@ -90,7 +107,7 @@ func (d *CheckpointDaemon) scheduleNext() {
 	if target <= now {
 		target = now
 	}
-	d.eng.Post(target, d.writeIncrement)
+	d.eng.Post(target, d.incrFn)
 }
 
 // writeIncrement persists everything dirtied since lastStart.
@@ -105,15 +122,8 @@ func (d *CheckpointDaemon) writeIncrement() {
 	}
 	d.writing = true
 	d.lastStart = now // pages dirtied from now on belong to the next increment
-	d.eng.PostAfter(dirtyMB/d.p.CheckpointWriteMBps, func() {
-		if d.stopped {
-			return
-		}
-		d.writing = false
-		d.incrementals++
-		d.record(dirtyMB)
-		d.scheduleNext()
-	})
+	d.pendingMB = dirtyMB
+	d.eng.PostAfter(dirtyMB/d.p.CheckpointWriteMBps, d.incrDoneFn)
 }
 
 // record accounts one completed write.

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Record the hot-path price-engine benchmarks to BENCH_5.json: the four
+# end-to-end benchmarks named in the PR-5 acceptance criteria plus the
+# component benchmarks for the cursor, envelope, and closed-form stats.
+#
+# The .raw field holds the verbatim `go test -bench` lines — feed them to
+# benchstat (e.g. `jq -r '.raw[]' BENCH_5.json | benchstat /dev/stdin`) or
+# diff two recordings. BENCHTIME overrides the fixed iteration count
+# (default 3x).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES='BenchmarkSchedulerMonth$|BenchmarkFleetMonth$|BenchmarkFigure8MultiMarket$|BenchmarkFigure10PriceVariability$|BenchmarkTraceCursorWalk$|BenchmarkTracePriceAtWalk$|BenchmarkEnvelopeCursorWalk$|BenchmarkMarketScanWalk$|BenchmarkCorrelationClosedForm$'
+BENCHTIME="${BENCHTIME:-3x}"
+OUT=BENCH_5.json
+
+RAW=$(go test -run NONE -bench "$BENCHES" -benchtime "$BENCHTIME" -benchmem .)
+echo "$RAW"
+
+{
+	echo '{'
+	echo '  "issue": 5,'
+	echo "  \"benchtime\": \"$BENCHTIME\","
+	echo '  "raw": ['
+	echo "$RAW" | sed 's/\\/\\\\/g; s/"/\\"/g; s/\t/\\t/g' \
+		| awk '{printf "%s    \"%s\"", sep, $0; sep=",\n"} END {print ""}'
+	echo '  ],'
+	echo '  "benchmarks": ['
+	echo "$RAW" | awk '
+		/^Benchmark/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			ns = "null"; bo = "null"; ao = "null"
+			for (i = 2; i < NF; i++) {
+				if ($(i+1) == "ns/op") ns = $i
+				if ($(i+1) == "B/op") bo = $i
+				if ($(i+1) == "allocs/op") ao = $i
+			}
+			printf "%s    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $2, ns, bo, ao
+			sep = ",\n"
+		}
+		END { print "" }'
+	echo '  ]'
+	echo '}'
+} > "$OUT"
+echo "wrote $OUT"
