@@ -22,6 +22,7 @@ import (
 	"spothost/internal/market"
 	"spothost/internal/sched"
 	"spothost/internal/sim"
+	"spothost/internal/sweep"
 	"spothost/internal/tpcw"
 	"spothost/internal/trace"
 	"spothost/internal/vm"
@@ -483,4 +484,58 @@ func BenchmarkCorrelationClosedForm(b *testing.B) {
 		acc += market.Correlation(ta, tb)
 	}
 	_ = acc
+}
+
+// sweepBenchSpec is the grid both sweep benchmarks run: a dense bid axis
+// (the realistic fine-resolution sweep the engine is built for) crossed
+// with the checkpoint bound, over three seeds. BenchmarkSweepGrid resolves
+// it with warm-start sharing and pruning; BenchmarkSweepGridCold simulates
+// every cell. The cells/s ratio between the two is the engine's speedup.
+func sweepBenchSpec() sweep.Spec {
+	bids := []float64{1.5, 2, 2.5, 3, 3.5}
+	for v := 4.0; v <= 12.0; v += 0.1 {
+		bids = append(bids, v)
+	}
+	return sweep.Spec{
+		Axes: []sweep.Axis{
+			{Knob: sweep.KnobBid, Values: bids},
+			{Knob: sweep.KnobTau, Values: []float64{3, 30}},
+		},
+		Seeds:   []int64{1, 2, 3},
+		Home:    market.ID{Region: "us-east-1a", Type: "small"},
+		Horizon: 4 * sim.Day,
+		Market:  market.DefaultConfig(0),
+	}
+}
+
+// BenchmarkSweepGrid runs the benchmark grid through the sweep engine with
+// warm-start sharing and pruning on, reporting resolved cells per second.
+func BenchmarkSweepGrid(b *testing.B) {
+	var cps float64
+	for i := 0; i < b.N; i++ {
+		spec := sweepBenchSpec()
+		spec.WarmStart = true
+		spec.Prune = true
+		sum, err := sweep.Run(context.Background(), &spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cps = sum.CellsPerSec()
+	}
+	b.ReportMetric(cps, "cells/s")
+}
+
+// BenchmarkSweepGridCold is the naive baseline: the same grid with every
+// cell simulated from scratch.
+func BenchmarkSweepGridCold(b *testing.B) {
+	var cps float64
+	for i := 0; i < b.N; i++ {
+		spec := sweepBenchSpec()
+		sum, err := sweep.Run(context.Background(), &spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cps = sum.CellsPerSec()
+	}
+	b.ReportMetric(cps, "cells/s")
 }

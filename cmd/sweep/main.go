@@ -9,6 +9,13 @@
 //	sweep -knob hysteresis -values 0,0.05,0.15,0.4
 //	sweep -knob lambda -values 0,0.5,1,2
 //
+// Multi-knob grids run through the internal/sweep engine: -grid takes a
+// semicolon-separated cross product of axes, and the engine can share
+// certified-identical cells (-warm-start) and cut dominated configurations
+// early (-prune), reporting progress in cells/sec (-progress):
+//
+//	sweep -grid "bid=1.5,2,2.5,3,4,6,8;tau=3,30" -warm-start -prune -progress
+//
 // It can also run any registered experiment (the same table cmd/paperbench
 // and the HTTP API serve) and print its CSV series:
 //
@@ -20,11 +27,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"spothost/internal/cloud"
 	"spothost/internal/experiments"
@@ -33,8 +42,8 @@ import (
 	"spothost/internal/runpool"
 	"spothost/internal/sched"
 	"spothost/internal/sim"
+	"spothost/internal/sweep"
 	"spothost/internal/trace"
-	"spothost/internal/vm"
 )
 
 func main() {
@@ -49,6 +58,10 @@ func main() {
 	experiment := flag.String("experiment", "", "run a registered experiment by name instead of a knob sweep")
 	traceF := flag.String("trace", "", "write a run trace of every simulation cell to this file")
 	traceFormat := flag.String("trace-format", "chrome", "trace export format: chrome (Perfetto trace_event JSON) | jsonl")
+	gridF := flag.String("grid", "", `multi-knob grid, e.g. "bid=1.5,2,3;tau=3,30" (cross product; uses the sweep engine)`)
+	warm := flag.Bool("warm-start", false, "share one pilot simulation across cells certified identical (grid mode)")
+	prune := flag.Bool("prune", false, "cut configs dominated on every seed so far (grid mode)")
+	progress := flag.Bool("progress", false, "report sweep progress in cells/sec on stderr (grid mode)")
 	flag.Parse()
 
 	var col *trace.Collector
@@ -59,6 +72,31 @@ func main() {
 	if *experiment != "" {
 		runExperiment(*experiment, *seedsN, *days, *parallel, col)
 		writeTrace(col, *traceF, *traceFormat)
+		return
+	}
+
+	if *gridF != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		err := runGrid(ctx, os.Stdout, gridOpts{
+			Grid:      *gridF,
+			Region:    *region,
+			Type:      *typeF,
+			Days:      *days,
+			Seeds:     *seedsN,
+			Fleet:     *fleet,
+			Parallel:  *parallel,
+			WarmStart: *warm,
+			Prune:     *prune,
+			Progress:  *progress,
+		})
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "interrupted")
+				os.Exit(130)
+			}
+			fatal(err)
+		}
 		return
 	}
 
@@ -216,40 +254,91 @@ func parseValues(s, knob string) ([]float64, error) {
 	return out, nil
 }
 
-// buildConfig applies the knob value to a scheduler config.
+// buildConfig applies the knob value to a scheduler config. The grid
+// engine owns the knob-to-config mapping now; this keeps the historical
+// single-knob entry point.
 func buildConfig(knob string, v float64, home market.ID, fleet int) (sched.Config, error) {
-	cfg, err := sched.DefaultConfig(home, market.DefaultTypes())
+	return sweep.BuildConfig(home, fleet, []sweep.Setting{{Knob: knob, Value: v}})
+}
+
+// gridOpts carries the flag values of a -grid run.
+type gridOpts struct {
+	Grid         string
+	Region, Type string
+	Days         float64
+	Seeds        int
+	Fleet        int
+	Parallel     int
+	WarmStart    bool
+	Prune        bool
+	Progress     bool
+}
+
+// runGrid executes a multi-knob grid through the sweep engine and prints
+// one CSV row per grid point: the knob values, the mean metrics over the
+// seeds the point ran, and — so pruning is never silent — whether the
+// point was cut and which point dominated it. An aggregate cell-accounting
+// line always goes to stderr.
+func runGrid(ctx context.Context, w io.Writer, o gridOpts) error {
+	axes, err := sweep.ParseGrid(o.Grid)
 	if err != nil {
-		return cfg, err
+		return err
 	}
-	multiMarket := func() {
-		if fleet <= 0 {
-			fleet = 4
-		}
-		cfg.Service = sched.ServiceSpec{
-			VM:    vm.Spec{MemoryGB: 1.4, DirtyRateMBps: 8, DiskGB: 4, Units: 1},
-			Count: fleet,
-		}
-		cfg.Markets = nil
-		for _, ts := range market.DefaultTypes() {
-			cfg.Markets = append(cfg.Markets, market.ID{Region: home.Region, Type: ts.Name})
+	var seeds []int64
+	for i := 0; i < o.Seeds; i++ {
+		seeds = append(seeds, int64(23*(i+1)))
+	}
+	mcfg := market.DefaultConfig(0)
+	if h := o.Days * sim.Day; h > mcfg.Horizon {
+		mcfg.Horizon = h
+	}
+	spec := sweep.Spec{
+		Axes:      axes,
+		Seeds:     seeds,
+		Home:      market.ID{Region: market.Region(o.Region), Type: market.InstanceType(o.Type)},
+		FleetSize: o.Fleet,
+		Horizon:   o.Days * sim.Day,
+		Market:    mcfg,
+		Workers:   o.Parallel,
+		WarmStart: o.WarmStart,
+		Prune:     o.Prune,
+	}
+	if o.Progress {
+		spec.OnProgress = func(p sweep.Progress) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells (%.0f cells/s, %d simulated, %d shared, %d pruned)   ",
+				p.Done, p.Total, p.CellsPerSec(), p.Simulated, p.Shared, p.PrunedCells)
 		}
 	}
-	switch knob {
-	case "bid":
-		cfg.BidMultiple = v
-	case "tau":
-		cfg.VMParams.CheckpointBound = v
-	case "hysteresis":
-		multiMarket()
-		cfg.Hysteresis = v
-	case "lambda":
-		multiMarket()
-		cfg.StabilityPenalty = v
-	default:
-		return cfg, fmt.Errorf("unknown knob %q", knob)
+	sum, err := sweep.Run(ctx, &spec)
+	if o.Progress {
+		fmt.Fprintln(os.Stderr)
 	}
-	return cfg, nil
+	if err != nil {
+		return err
+	}
+
+	for _, ax := range axes {
+		fmt.Fprintf(w, "%s,", ax.Knob)
+	}
+	fmt.Fprintf(w, "normalized_cost,unavailability,forced_per_hr,voluntary_per_hr,migrations,seeds,pruned,dominated_by\n")
+	for _, res := range sum.Results {
+		for _, v := range res.Values {
+			fmt.Fprintf(w, "%g,", v)
+		}
+		r := res.Mean
+		dom := ""
+		if res.Pruned {
+			dom = fmt.Sprintf("%d", res.DominatedBy)
+		}
+		fmt.Fprintf(w, "%.5f,%.7f,%.5f,%.5f,%d,%d,%v,%s\n",
+			r.NormalizedCost(), r.Unavailability(),
+			r.ForcedPerHour(), r.PlannedReversePerHour(), r.Migrations.Total(),
+			res.SeedsRun, res.Pruned, dom)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d cells = %d simulated + %d shared + %d pruned (%d configs cut) in %v (%.0f cells/s)\n",
+		sum.Cells, sum.Simulated, sum.Shared, sum.PrunedCells, sum.PrunedConfigs,
+		sum.Elapsed.Round(time.Millisecond), sum.CellsPerSec())
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"spothost/internal/market"
+	"spothost/internal/sched"
+)
+
+func TestParseValues(t *testing.T) {
+	got, err := parseValues("1.5, 2,3", "bid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{1.5, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseValues = %v, want %v", got, want)
+	}
+
+	// Empty -values falls back to per-knob defaults.
+	for knob, want := range map[string][]float64{
+		"bid":        {1.5, 2, 3, 4},
+		"tau":        {1, 3, 10, 30},
+		"hysteresis": {0, 0.05, 0.15, 0.4},
+		"lambda":     {0, 0.5, 1, 2},
+	} {
+		got, err := parseValues("", knob)
+		if err != nil {
+			t.Fatalf("%s: %v", knob, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s defaults = %v, want %v", knob, got, want)
+		}
+	}
+	if _, err := parseValues("", "warp"); err == nil {
+		t.Error("parseValues accepted an unknown knob with no values")
+	}
+	if _, err := parseValues("1,two", "bid"); err == nil {
+		t.Error("parseValues accepted a non-numeric value")
+	}
+}
+
+func TestBuildConfig(t *testing.T) {
+	home := market.ID{Region: "us-east-1a", Type: "small"}
+
+	cfg, err := buildConfig("bid", 2.5, home, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BidMultiple != 2.5 || len(cfg.Markets) != 1 || cfg.Markets[0] != home {
+		t.Fatalf("bid config: %+v", cfg)
+	}
+
+	cfg, err = buildConfig("tau", 10, home, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.VMParams.CheckpointBound != 10 {
+		t.Fatalf("tau not applied: %+v", cfg.VMParams)
+	}
+
+	// hysteresis/lambda switch to the multi-market fleet; -vms overrides
+	// the default fleet of 4.
+	cfg, err = buildConfig("hysteresis", 0.15, home, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Hysteresis != 0.15 || cfg.Service.Count != 4 || len(cfg.Markets) != len(market.DefaultTypes()) {
+		t.Fatalf("hysteresis config: %+v", cfg)
+	}
+	cfg, err = buildConfig("lambda", 1, home, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.StabilityPenalty != 1 || cfg.Service.Count != 6 {
+		t.Fatalf("lambda config: %+v", cfg)
+	}
+	if cfg.Bidding != sched.Proactive {
+		t.Fatalf("bidding = %v, want proactive", cfg.Bidding)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("built config does not validate: %v", err)
+	}
+
+	if _, err := buildConfig("warp", 1, home, 0); err == nil {
+		t.Error("buildConfig accepted an unknown knob")
+	}
+	if _, err := buildConfig("bid", 1, home, 0); err == nil {
+		t.Error("buildConfig accepted BidMultiple=1 (proactive needs >1)")
+	}
+}
+
+func TestRunGridCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	var out strings.Builder
+	err := runGrid(context.Background(), &out, gridOpts{
+		Grid:      "bid=2,4,5",
+		Region:    "us-east-1a",
+		Type:      "small",
+		Days:      2,
+		Seeds:     1,
+		WarmStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3 rows:\n%s", len(lines), out.String())
+	}
+	wantHeader := "bid,normalized_cost,unavailability,forced_per_hr,voluntary_per_hr,migrations,seeds,pruned,dominated_by"
+	if lines[0] != wantHeader {
+		t.Fatalf("header = %q, want %q", lines[0], wantHeader)
+	}
+	for i, row := range lines[1:] {
+		fields := strings.Split(row, ",")
+		if len(fields) != 9 {
+			t.Fatalf("row %d has %d fields: %q", i, len(fields), row)
+		}
+		if fields[7] != "false" || fields[8] != "" {
+			t.Fatalf("row %d unexpectedly pruned: %q", i, row)
+		}
+	}
+
+	// Grid parse errors surface instead of printing anything.
+	if err := runGrid(context.Background(), &out, gridOpts{Grid: "warp=1", Seeds: 1}); err == nil {
+		t.Fatal("runGrid accepted an unknown knob")
+	}
+}

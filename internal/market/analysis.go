@@ -24,34 +24,34 @@ func Correlation(a, b *Trace) float64 {
 	if end <= 0 {
 		return 0
 	}
-	ap, bp := a.points, b.points
+	at, bt := a.times, b.times
 	ia, ib := 0, 0 // index of the segment in effect at t (clamped to 0)
 	t := sim.Time(0)
-	for ia+1 < len(ap) && ap[ia+1].T <= t {
+	for ia+1 < len(at) && at[ia+1] <= t {
 		ia++
 	}
-	for ib+1 < len(bp) && bp[ib+1].T <= t {
+	for ib+1 < len(bt) && bt[ib+1] <= t {
 		ib++
 	}
-	pa, pb := ap[ia].Price, bp[ib].Price
+	pa, pb := a.prices[ia], b.prices[ib]
 	var pair stats.WeightedPair
 	for t < end {
 		nt := end
-		if ia+1 < len(ap) && ap[ia+1].T < nt {
-			nt = ap[ia+1].T
+		if ia+1 < len(at) && at[ia+1] < nt {
+			nt = at[ia+1]
 		}
-		if ib+1 < len(bp) && bp[ib+1].T < nt {
-			nt = bp[ib+1].T
+		if ib+1 < len(bt) && bt[ib+1] < nt {
+			nt = bt[ib+1]
 		}
 		pair.Add(pa, pb, nt-t)
 		t = nt
-		for ia+1 < len(ap) && ap[ia+1].T <= t {
+		for ia+1 < len(at) && at[ia+1] <= t {
 			ia++
-			pa = ap[ia].Price
+			pa = a.prices[ia]
 		}
-		for ib+1 < len(bp) && bp[ib+1].T <= t {
+		for ib+1 < len(bt) && bt[ib+1] <= t {
 			ib++
-			pb = bp[ib].Price
+			pb = b.prices[ib]
 		}
 	}
 	return pair.Pearson()
@@ -65,21 +65,21 @@ func StdDev(tr *Trace) float64 {
 	if end <= 0 {
 		return 0
 	}
-	pts := tr.points
+	ts := tr.times
 	var m stats.WeightedMoments
 	t := sim.Time(0)
 	i := 0
-	for i+1 < len(pts) && pts[i+1].T <= t {
+	for i+1 < len(ts) && ts[i+1] <= t {
 		i++
 	}
 	for t < end {
 		nt := end
-		if i+1 < len(pts) && pts[i+1].T < nt {
-			nt = pts[i+1].T
+		if i+1 < len(ts) && ts[i+1] < nt {
+			nt = ts[i+1]
 		}
-		m.Add(pts[i].Price, nt-t)
+		m.Add(tr.prices[i], nt-t)
 		t = nt
-		for i+1 < len(pts) && pts[i+1].T <= t {
+		for i+1 < len(ts) && ts[i+1] <= t {
 			i++
 		}
 	}

@@ -33,15 +33,16 @@ func NewCursor(tr *Trace) *Cursor { return &Cursor{tr: tr} }
 // Trace returns the trace this cursor iterates over.
 func (c *Cursor) Trace() *Trace { return c.tr }
 
-// seek moves the cursor so that c.i is the index of the last point with
-// T <= t, clamped to 0 for times before the first point.
+// seek moves the cursor so that c.i is the index of the last step with
+// time <= t, clamped to 0 for times before the first step. Seeks scan the
+// times column only — 8 bytes per crossed step.
 func (c *Cursor) seek(t sim.Time) {
-	pts := c.tr.points
+	ts := c.tr.times
 	i := c.i
-	if pts[i].T > t {
+	if ts[i] > t {
 		// Backward query (or a query before the first point): binary
 		// search from scratch.
-		i = sort.Search(len(pts), func(j int) bool { return pts[j].T > t }) - 1
+		i = sort.Search(len(ts), func(j int) bool { return ts[j] > t }) - 1
 		if i < 0 {
 			i = 0
 		}
@@ -49,13 +50,13 @@ func (c *Cursor) seek(t sim.Time) {
 		return
 	}
 	steps := 0
-	for i+1 < len(pts) && pts[i+1].T <= t {
+	for i+1 < len(ts) && ts[i+1] <= t {
 		i++
 		steps++
 		if steps == cursorGallopLimit {
 			// Far forward jump: finish with a binary search over the tail.
-			rest := pts[i+1:]
-			i += sort.Search(len(rest), func(j int) bool { return rest[j].T > t })
+			rest := ts[i+1:]
+			i += sort.Search(len(rest), func(j int) bool { return rest[j] > t })
 			break
 		}
 	}
@@ -66,20 +67,20 @@ func (c *Cursor) seek(t sim.Time) {
 // Trace.PriceAt.
 func (c *Cursor) PriceAt(t sim.Time) float64 {
 	c.seek(t)
-	return c.tr.points[c.i].Price
+	return c.tr.prices[c.i]
 }
 
 // NextChangeAfter returns the time and price of the first step strictly
 // after t, identical to Trace.NextChangeAfter.
 func (c *Cursor) NextChangeAfter(t sim.Time) (at sim.Time, price float64, ok bool) {
 	c.seek(t)
-	pts := c.tr.points
-	if pts[c.i].T > t {
+	tr := c.tr
+	if tr.times[c.i] > t {
 		// t is before the first point; the first point is the next change.
-		return pts[c.i].T, pts[c.i].Price, true
+		return tr.times[c.i], tr.prices[c.i], true
 	}
-	if c.i+1 >= len(pts) {
+	if c.i+1 >= len(tr.times) {
 		return 0, 0, false
 	}
-	return pts[c.i+1].T, pts[c.i+1].Price, true
+	return tr.times[c.i+1], tr.prices[c.i+1], true
 }

@@ -69,9 +69,9 @@ func buildEnvelope(s *Set, ids []ID, weights []float64) *Envelope {
 	times := make([]sim.Time, 0, total+1)
 	times = append(times, 0)
 	for _, tr := range traces {
-		for _, p := range tr.points {
-			if p.T < end {
-				times = append(times, p.T)
+		for _, t := range tr.times {
+			if t < end {
+				times = append(times, t)
 			}
 		}
 	}
@@ -89,11 +89,11 @@ func buildEnvelope(s *Set, ids []ID, weights []float64) *Envelope {
 		arg, best, bestW := -1, 0.0, 0.0
 		for i, tr := range traces {
 			j := idx[i]
-			for j+1 < len(tr.points) && tr.points[j+1].T <= t {
+			for j+1 < len(tr.times) && tr.times[j+1] <= t {
 				j++
 			}
 			idx[i] = j
-			p := tr.points[j].Price
+			p := tr.prices[j]
 			wp := w[i] * p
 			if arg == -1 || wp < bestW {
 				arg, best, bestW = i, p, wp

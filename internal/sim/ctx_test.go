@@ -84,6 +84,60 @@ func TestRunUntilCtxBackgroundIdentical(t *testing.T) {
 	}
 }
 
+// uncancelableKey is the context key used to build wrapped-but-uncancelable
+// contexts in tests.
+type uncancelableKey struct{}
+
+func TestSetContextUncancelableFastPath(t *testing.T) {
+	// The never-canceled fast path must trigger on Done() == nil, not on
+	// identity with context.Background()/TODO(): a WithValue wrapper over
+	// Background is equally uncancelable but compares unequal to both.
+	cases := map[string]context.Context{
+		"background": context.Background(),
+		"todo":       context.TODO(),
+		"withvalue":  context.WithValue(context.Background(), uncancelableKey{}, "x"),
+		"nested":     context.WithValue(context.WithValue(context.Background(), uncancelableKey{}, 1), uncancelableKey{}, 2),
+	}
+	for name, ctx := range cases {
+		e := NewEngine()
+		e.SetContext(ctx)
+		if e.ctx != nil {
+			t.Errorf("%s: SetContext kept an uncancelable context armed (polls for nothing)", name)
+		}
+	}
+
+	// A cancelable context must stay armed...
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e.SetContext(ctx)
+	if e.ctx == nil {
+		t.Fatal("SetContext dropped a cancelable context")
+	}
+	// ...including when wrapped in values (Done passes through the wrapper).
+	e.SetContext(context.WithValue(ctx, uncancelableKey{}, "x"))
+	if e.ctx == nil {
+		t.Fatal("SetContext dropped a value-wrapped cancelable context")
+	}
+	// And a wrapped-uncancelable run still completes with no error.
+	e2 := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 100 {
+			e2.PostAfter(Second, tick)
+		}
+	}
+	e2.PostAfter(Second, tick)
+	if err := e2.RunUntilCtx(context.WithValue(context.Background(), uncancelableKey{}, "y"), 200); err != nil {
+		t.Fatalf("RunUntilCtx under uncancelable wrapper: %v", err)
+	}
+	if n != 100 {
+		t.Fatalf("run stopped early: %d ticks", n)
+	}
+}
+
 func TestDeadlineExceededReported(t *testing.T) {
 	e := NewEngine()
 	chain(e)

@@ -253,8 +253,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // SetCancelPollInterval) and halt when it is non-nil. A nil ctx disarms
 // the check. Setting a context clears any previously recorded Err.
 func (e *Engine) SetContext(ctx context.Context) {
-	if ctx == context.Background() || ctx == context.TODO() {
-		ctx = nil // never canceled: skip the poll entirely
+	if ctx != nil && ctx.Done() == nil {
+		// A nil Done channel means the context can never be canceled —
+		// context.Background(), context.TODO(), or any uncancelable wrapper
+		// (e.g. context.WithValue over Background): skip the poll entirely.
+		ctx = nil
 	}
 	e.ctx = ctx
 	e.ctxErr = nil

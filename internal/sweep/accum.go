@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"spothost/internal/metrics"
+	"spothost/internal/sim"
+)
+
+// reportAccum is a streaming equivalent of metrics.Average: feed it
+// reports one at a time and mean() returns exactly what
+// metrics.Average(all reports) would have (see TestAccumMatchesAverage),
+// without ever holding more than one report. Non-averaged fields (policy
+// and mechanism labels, VM count) are taken from the first report, like
+// Average takes them from rs[0]; per-seed downtime logs are dropped, like
+// Average drops them.
+type reportAccum struct {
+	n     int
+	first metrics.Report
+
+	ckpt, cost, base, spotS, odS, down, degr, horizon float64
+	forced, planned, reverse, xr, lost, eps           float64
+	longest                                           sim.Duration
+}
+
+func (a *reportAccum) add(r metrics.Report) {
+	if a.n == 0 {
+		a.first = r
+		a.first.DowntimeLog = nil
+	}
+	a.n++
+	a.ckpt += r.CheckpointGB
+	a.cost += r.Cost
+	a.base += r.BaselineCost
+	a.spotS += r.SpotSeconds
+	a.odS += r.OnDemandSeconds
+	a.down += r.DowntimeSeconds
+	a.degr += r.DegradedSeconds
+	a.horizon += float64(r.Horizon)
+	a.forced += float64(r.Migrations.Forced)
+	a.planned += float64(r.Migrations.Planned)
+	a.reverse += float64(r.Migrations.Reverse)
+	a.xr += float64(r.Migrations.CrossRegion)
+	a.lost += float64(r.Migrations.MemoryLost)
+	a.eps += float64(r.DownEpisodes)
+	if r.LongestDowntime > a.longest {
+		a.longest = r.LongestDowntime
+	}
+}
+
+func (a *reportAccum) mean() metrics.Report {
+	if a.n == 0 {
+		return metrics.Report{}
+	}
+	out := a.first
+	n := float64(a.n)
+	out.CheckpointGB = a.ckpt / n
+	out.Cost = a.cost / n
+	out.BaselineCost = a.base / n
+	out.SpotSeconds = a.spotS / n
+	out.OnDemandSeconds = a.odS / n
+	out.DowntimeSeconds = a.down / n
+	out.DegradedSeconds = a.degr / n
+	out.Horizon = a.horizon / n
+	out.DownEpisodes = int(a.eps/n + 0.5)
+	out.LongestDowntime = a.longest
+	out.Migrations = metrics.MigrationCounts{
+		Forced:      int(a.forced/n + 0.5),
+		Planned:     int(a.planned/n + 0.5),
+		Reverse:     int(a.reverse/n + 0.5),
+		CrossRegion: int(a.xr/n + 0.5),
+		MemoryLost:  int(a.lost/n + 0.5),
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package sweep
+
+import (
+	"spothost/internal/market"
+	"spothost/internal/sched"
+	"spothost/internal/sim"
+)
+
+// Warm-start certification.
+//
+// A family's members differ only in the warm-axis knob. Rather than trying
+// to snapshot a half-run engine (the event heap is closures; forking it is
+// not feasible), the engine proves statically — from the price columns
+// alone — that two neighboring knob values can never produce a different
+// decision anywhere in the horizon. Certified-equal members form an
+// equivalence class: one pilot simulation runs cold and its report is
+// reused, byte for byte, for every other member. The oracles below are
+// sound (they only certify when NO trajectory can diverge) but
+// conservative (they may run cells cold that would in fact have matched):
+//
+//   - bid: the scheduler and provider consume the bid exclusively in
+//     price-vs-bid comparisons (grant checks, revocations, grantability
+//     scans); billing always charges the spot price, never the bid. Two
+//     effective bids e1 < e2 in market m behave identically unless some
+//     price step of m lands in (e1, e2] inside the horizon.
+//   - hysteresis: consumed only in decide()'s improvement test
+//     c < curCost*(1-h). Both sides are always drawn from the same small
+//     curve set — n_m x spot price or n_m x on-demand price over the
+//     candidate markets — so h1 and h2 can only disagree if some pair of
+//     curve values flips the comparison on some segment of the horizon.
+//     The oracle replays the engine's own float expression on every merged
+//     segment, so certification is exact to the bit.
+//   - tau / lambda: consumed continuously (checkpoint cadence, volatility
+//     scoring), so distinct values are never certified equal.
+//
+// Certification depends on the universe, so classes are recomputed per
+// seed; it reads only the columnar trace slabs and costs O(values x steps)
+// per family.
+
+// shareClasses partitions family members (point indices sorted by
+// ascending warm value) into runs certified to simulate identically on
+// this universe within [0, horizon). The first member of each class is the
+// pilot.
+func shareClasses(plan *Plan, members []int, set *market.Set, bidCap float64, horizon sim.Time) [][]int {
+	if len(members) <= 1 || plan.WarmAxis < 0 {
+		return singletons(members)
+	}
+	knob := plan.Axes[plan.WarmAxis].Knob
+	cfg := plan.Points[members[0]].Config
+
+	var diverges func(lo, hi float64) bool
+	switch {
+	case knob == KnobBid && cfg.Bidding == sched.Proactive:
+		diverges = func(lo, hi float64) bool {
+			return bidPairDiverges(set, cfg.Markets, lo, hi, bidCap, horizon)
+		}
+	case knob == KnobBid:
+		// Reactive / PureSpot / OnDemandOnly never read BidMultiple: the
+		// whole family is one class.
+		return [][]int{append([]int(nil), members...)}
+	case knob == KnobHysteresis:
+		curves := costCurves(set, cfg)
+		diverges = func(lo, hi float64) bool {
+			return hystPairDiverges(curves, lo, hi, horizon)
+		}
+	default:
+		return singletons(members)
+	}
+
+	classes := [][]int{{members[0]}}
+	for i := 1; i < len(members); i++ {
+		lo := plan.Points[members[i-1]].Values[plan.WarmAxis]
+		hi := plan.Points[members[i]].Values[plan.WarmAxis]
+		if lo != hi && diverges(lo, hi) {
+			classes = append(classes, nil)
+		}
+		last := len(classes) - 1
+		classes[last] = append(classes[last], members[i])
+	}
+	return classes
+}
+
+func singletons(members []int) [][]int {
+	out := make([][]int, len(members))
+	for i, m := range members {
+		out[i] = []int{m}
+	}
+	return out
+}
+
+// bidPairDiverges reports whether bid multiples lo < hi can behave
+// differently in any candidate market: true iff some price step within the
+// horizon lands strictly above lo's effective bid and at-or-below hi's.
+// Effective bids mirror bidFor: min(k x od, cap x od).
+func bidPairDiverges(set *market.Set, markets []market.ID, lo, hi, bidCap float64, horizon sim.Time) bool {
+	for _, m := range markets {
+		od := set.OnDemand(m)
+		elo, ehi := lo*od, hi*od
+		if cap := bidCap * od; elo > cap {
+			elo = cap
+		}
+		if cap := bidCap * od; ehi > cap {
+			ehi = cap
+		}
+		if elo >= ehi {
+			continue // both capped (or equal): indistinguishable here
+		}
+		tr := set.Trace(m)
+		if tr == nil {
+			return true // unknown market: never certify
+		}
+		times, prices := tr.Times(), tr.Prices()
+		for i, p := range prices {
+			if i > 0 && times[i] >= horizon {
+				break
+			}
+			// The provider compares price > bid (grants, revocations), so
+			// the pair separates exactly when p is in (elo, ehi].
+			if p > elo && p <= ehi {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// costCurve is one hourly-cost curve the decide() comparison can draw a
+// side from: scale x a piecewise-constant price series. A constant curve
+// (on-demand) has nil times and a single price.
+type costCurve struct {
+	times  []sim.Time
+	prices []float64
+	scale  float64
+}
+
+// costCurves enumerates every curve decide() can ever compare: for each
+// candidate market (plus home), the spot curve and the on-demand constant,
+// both scaled by the server count the service needs in that type.
+func costCurves(set *market.Set, cfg sched.Config) []costCurve {
+	ids := make([]market.ID, 0, len(cfg.Markets)+1)
+	seen := map[market.ID]bool{}
+	for _, m := range append(append([]market.ID(nil), cfg.Markets...), cfg.Home) {
+		if !seen[m] {
+			seen[m] = true
+			ids = append(ids, m)
+		}
+	}
+	curves := make([]costCurve, 0, 2*len(ids))
+	for _, m := range ids {
+		n := float64(serversFor(cfg, m.Type))
+		if tr := set.Trace(m); tr != nil {
+			curves = append(curves, costCurve{times: tr.Times(), prices: tr.Prices(), scale: n})
+		}
+		curves = append(curves, costCurve{prices: []float64{set.OnDemand(m)}, scale: n})
+	}
+	return curves
+}
+
+// serversFor mirrors sched.Config.serversFor: how many servers of type t
+// the service needs.
+func serversFor(cfg sched.Config, t market.InstanceType) int {
+	types := cfg.Types
+	if types == nil {
+		types = market.DefaultTypes()
+	}
+	ts, ok := market.FindType(types, t)
+	if !ok || cfg.Service.VM.Units <= 0 {
+		return 1
+	}
+	per := ts.Units / cfg.Service.VM.Units
+	if per < 1 {
+		per = 1
+	}
+	return (cfg.Service.Count + per - 1) / per
+}
+
+// hystPairDiverges reports whether hysteresis values h1 < h2 can decide
+// differently anywhere in the horizon: true iff for some ordered pair of
+// cost curves (candidate c, current b) and some merged segment, the
+// engine's own test c < b*(1-h) flips between h1 and h2.
+func hystPairDiverges(curves []costCurve, h1, h2 float64, horizon sim.Time) bool {
+	for i := range curves {
+		for j := range curves {
+			if i == j {
+				continue
+			}
+			if curvePairFlips(&curves[i], &curves[j], h1, h2, horizon) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// curvePairFlips walks the merged piecewise-constant segments of candidate
+// a and current b over [0, horizon) and evaluates decide()'s comparison at
+// both hysteresis values on each piece.
+func curvePairFlips(a, b *costCurve, h1, h2 float64, horizon sim.Time) bool {
+	ia, ib := 0, 0
+	t := sim.Time(0)
+	for t < horizon {
+		for ia+1 < len(a.times) && a.times[ia+1] <= t {
+			ia++
+		}
+		for ib+1 < len(b.times) && b.times[ib+1] <= t {
+			ib++
+		}
+		cv := a.scale * a.prices[ia]
+		bv := b.scale * b.prices[ib]
+		if bv <= 0 {
+			return true // degenerate current cost: never certify
+		}
+		if (cv < bv*(1-h1)) != (cv < bv*(1-h2)) {
+			return true
+		}
+		// Advance to the next boundary of either curve.
+		nt := horizon
+		if ia+1 < len(a.times) && a.times[ia+1] < nt {
+			nt = a.times[ia+1]
+		}
+		if ib+1 < len(b.times) && b.times[ib+1] < nt {
+			nt = b.times[ib+1]
+		}
+		if nt <= t {
+			break // both curves exhausted
+		}
+		t = nt
+	}
+	return false
+}

@@ -1,0 +1,412 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spothost/internal/cloud"
+	"spothost/internal/market"
+	"spothost/internal/metrics"
+	"spothost/internal/runpool"
+	"spothost/internal/sched"
+	"spothost/internal/sim"
+)
+
+// Spec describes a full sweep: the grid, the seeds, and the execution
+// switches.
+type Spec struct {
+	Axes      []Axis
+	Seeds     []int64
+	Home      market.ID
+	FleetSize int          // multi-market fleet size (0 means default 4)
+	Horizon   sim.Duration // 0 means the universe's full extent
+	Market    market.Config
+	Cloud     cloud.Params // zero BidCap means cloud.DefaultParams(0)
+	Workers   int          // simulation parallelism; 0 means one per CPU
+
+	// WarmStart shares one pilot simulation across each certified-equal
+	// class of warm-axis siblings (see certify.go). Reports of shared
+	// cells are byte-identical to what a cold run would produce.
+	WarmStart bool
+
+	// Prune cuts configurations that are strictly worse on cost and no
+	// better on availability than another configuration on every seed
+	// evaluated so far. Pruned configs are reported with the point that
+	// dominated them; their remaining seeds are skipped.
+	Prune bool
+
+	// Universe overrides per-seed universe generation (tests, replayed
+	// traces). Nil means market.SharedCache().Generate with Spec.Market
+	// and the cell's seed.
+	Universe func(seed int64) (*market.Set, error)
+
+	// OnCell, when set, observes every resolved cell in deterministic
+	// order (seed waves in seed order, points ascending within a wave).
+	// Called from the runner goroutine only.
+	OnCell func(Cell)
+
+	// OnProgress, when set, receives throttled throughput updates. It may
+	// be called from worker goroutines; calls are serialized.
+	OnProgress func(Progress)
+}
+
+// Cell is one resolved (point, seed) simulation cell.
+type Cell struct {
+	Point   int       // index into Plan.Points
+	SeedIdx int       // index into Spec.Seeds
+	Seed    int64
+	Values  []float64 // the point's knob values, in axis order
+	Report  metrics.Report
+	Shared  bool // true when the report was reused from a certified pilot
+	Pilot   int  // point whose simulation produced the report (== Point when cold)
+}
+
+// Progress is a point-in-time view of a running sweep.
+type Progress struct {
+	Done, Total                    int
+	Simulated, Shared, PrunedCells int
+	Elapsed                        time.Duration
+}
+
+// CellsPerSec returns resolved cells per wall-clock second so far.
+func (p Progress) CellsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Done) / p.Elapsed.Seconds()
+}
+
+// Result is the aggregate outcome of one grid point.
+type Result struct {
+	Point       int
+	Values      []float64
+	SeedsRun    int            // seeds resolved before (possible) pruning
+	Mean        metrics.Report // mean over SeedsRun, as metrics.Average
+	Pruned      bool
+	DominatedBy int // point index that dominated this one; -1 if not pruned
+}
+
+// Summary is the outcome of a sweep. Every grid point appears in Results
+// exactly once — pruned points carry their dominator, so no cut is silent.
+type Summary struct {
+	Plan          *Plan
+	Seeds         []int64
+	Cells         int // points x seeds
+	Simulated     int // cells that ran a cold simulation
+	Shared        int // cells resolved by a certified pilot's report
+	PrunedCells   int // cells skipped because their config was pruned
+	PrunedConfigs int
+	Elapsed       time.Duration
+	Results       []Result
+}
+
+// CellsPerSec returns resolved cells (simulated + shared + pruned) per
+// wall-clock second.
+func (s *Summary) CellsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Cells) / s.Elapsed.Seconds()
+}
+
+// seedStat is the compact per-(point, seed) record pruning needs; full
+// reports are never buffered per cell.
+type seedStat struct {
+	cost float64 // normalized cost
+	unav float64 // unavailability
+}
+
+// pointState is the per-grid-point running state: a streaming mean
+// accumulator plus the compact per-seed stats.
+type pointState struct {
+	accum       reportAccum
+	stats       []seedStat
+	pruned      bool
+	dominatedBy int
+}
+
+// maxDominatorChecks bounds the per-point pruning work: only this many
+// frontier candidates get the full per-seed verification. Missing a
+// dominator just runs a config that could have been cut; it never cuts a
+// config that should have run.
+const maxDominatorChecks = 4
+
+// Run executes the sweep described by spec, streaming cells through the
+// bounded aggregator, and returns the summary. Cancelling ctx aborts every
+// in-flight simulation promptly.
+func Run(ctx context.Context, spec *Spec) (*Summary, error) {
+	if len(spec.Seeds) == 0 {
+		return nil, fmt.Errorf("sweep: no seeds")
+	}
+	plan, err := NewPlan(spec.Axes, spec.Home, spec.FleetSize)
+	if err != nil {
+		return nil, err
+	}
+	cloudP := spec.Cloud
+	if cloudP.BidCap == 0 {
+		cloudP = cloud.DefaultParams(0)
+	}
+	universe := spec.Universe
+	if universe == nil {
+		cache := market.SharedCache()
+		universe = func(seed int64) (*market.Set, error) {
+			mc := spec.Market
+			mc.Seed = seed
+			return cache.Generate(mc)
+		}
+	}
+
+	nP := len(plan.Points)
+	totalCells := nP * len(spec.Seeds)
+	states := make([]pointState, nP)
+	for i := range states {
+		states[i].dominatedBy = -1
+		states[i].stats = make([]seedStat, 0, len(spec.Seeds))
+	}
+
+	start := time.Now()
+	var done, simulated, sharedCt, prunedCells atomic.Int64
+	var progMu sync.Mutex
+	var lastProg time.Time
+	emit := func(force bool) {
+		if spec.OnProgress == nil {
+			return
+		}
+		progMu.Lock()
+		defer progMu.Unlock()
+		now := time.Now()
+		if !force && now.Sub(lastProg) < 200*time.Millisecond {
+			return
+		}
+		lastProg = now
+		spec.OnProgress(Progress{
+			Done:        int(done.Load()),
+			Total:       totalCells,
+			Simulated:   int(simulated.Load()),
+			Shared:      int(sharedCt.Load()),
+			PrunedCells: int(prunedCells.Load()),
+			Elapsed:     now.Sub(start),
+		})
+	}
+
+	pilotOf := make([]int, nP) // point -> pilot point this wave, or -1
+	jobIdx := make([]int, nP)  // point -> index in this wave's job list
+	for seedIdx, seed := range spec.Seeds {
+		set, err := universe(seed)
+		if err != nil {
+			return nil, err
+		}
+		horizon := spec.Horizon
+		if horizon <= 0 || horizon > set.Horizon() {
+			horizon = set.Horizon()
+		}
+
+		// Plan the wave: one job per alive point, collapsed to one job per
+		// certified equivalence class under warm-start.
+		for i := range pilotOf {
+			pilotOf[i] = -1
+		}
+		var jobs []int
+		var alive []int
+		for _, fam := range plan.Families {
+			alive = alive[:0]
+			for _, m := range fam.Members {
+				if !states[m].pruned {
+					alive = append(alive, m)
+				}
+			}
+			if len(alive) == 0 {
+				continue
+			}
+			if spec.WarmStart && plan.WarmAxis >= 0 && len(alive) > 1 {
+				for _, cls := range shareClasses(plan, alive, set, cloudP.BidCap, horizon) {
+					jobs = append(jobs, cls[0])
+					for _, m := range cls[1:] {
+						pilotOf[m] = cls[0]
+					}
+				}
+			} else {
+				jobs = append(jobs, alive...)
+			}
+		}
+		for i, pt := range jobs {
+			jobIdx[pt] = i
+		}
+
+		reports, err := runpool.MapCtx(ctx, spec.Workers, jobs, func(ctx context.Context, _, pt int) (metrics.Report, error) {
+			cp := cloudP
+			cp.Seed = seed
+			rep, err := sched.RunCtx(ctx, set, cp, plan.Points[pt].Config, horizon)
+			if err == nil {
+				done.Add(1)
+				simulated.Add(1)
+				emit(false)
+			}
+			return rep, err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Distribute reports to every alive point, in point order.
+		for p := 0; p < nP; p++ {
+			st := &states[p]
+			if st.pruned {
+				continue
+			}
+			// jobIdx entries are only valid for points that got a job this
+			// wave; a shared point's own entry is stale.
+			var rep metrics.Report
+			shared := false
+			pilot := p
+			if pilotOf[p] >= 0 {
+				pilot = pilotOf[p]
+				rep = reports[jobIdx[pilot]]
+				shared = true
+				sharedCt.Add(1)
+				done.Add(1)
+			} else {
+				rep = reports[jobIdx[p]]
+			}
+			st.accum.add(rep)
+			st.stats = append(st.stats, seedStat{cost: rep.NormalizedCost(), unav: rep.Unavailability()})
+			if spec.OnCell != nil {
+				spec.OnCell(Cell{
+					Point: p, SeedIdx: seedIdx, Seed: seed,
+					Values: plan.Points[p].Values,
+					Report: rep, Shared: shared, Pilot: pilot,
+				})
+			}
+		}
+
+		if spec.Prune && seedIdx+1 < len(spec.Seeds) {
+			cut := pruneDominated(states, seedIdx+1)
+			// Each cut config skips every remaining seed; those cells are
+			// resolved by domination, not silently dropped.
+			skipped := int64(len(cut) * (len(spec.Seeds) - seedIdx - 1))
+			prunedCells.Add(skipped)
+			done.Add(skipped)
+		}
+		emit(false)
+	}
+	emit(true)
+
+	sum := &Summary{
+		Plan:        plan,
+		Seeds:       spec.Seeds,
+		Cells:       totalCells,
+		Simulated:   int(simulated.Load()),
+		Shared:      int(sharedCt.Load()),
+		PrunedCells: int(prunedCells.Load()),
+		Elapsed:     time.Since(start),
+		Results:     make([]Result, nP),
+	}
+	for p := range states {
+		st := &states[p]
+		sum.Results[p] = Result{
+			Point:       p,
+			Values:      plan.Points[p].Values,
+			SeedsRun:    len(st.stats),
+			Mean:        st.accum.mean(),
+			Pruned:      st.pruned,
+			DominatedBy: st.dominatedBy,
+		}
+		if st.pruned {
+			sum.PrunedConfigs++
+		}
+	}
+	return sum, nil
+}
+
+// pruneDominated marks every alive point that is strictly worse on cost
+// and no better on availability than some other point on every seed run so
+// far, and returns the newly pruned point indices.
+//
+// Candidate dominators are drawn from the (mean cost, mean unavailability)
+// staircase frontier, so the pass is O(P log P) rather than O(P^2); each
+// point checks at most maxDominatorChecks candidates with the full
+// per-seed test. Decisions are computed from the wave-start state for
+// every point before any mark is applied, so the outcome is deterministic
+// and independent of iteration order.
+func pruneDominated(states []pointState, seedsRun int) []int {
+	type entry struct {
+		cost, unav float64
+		p          int
+	}
+	var alive []entry
+	for p := range states {
+		st := &states[p]
+		if st.pruned || len(st.stats) < seedsRun {
+			continue
+		}
+		var cost, unav float64
+		for _, s := range st.stats[:seedsRun] {
+			cost += s.cost
+			unav += s.unav
+		}
+		n := float64(seedsRun)
+		alive = append(alive, entry{cost: cost / n, unav: unav / n, p: p})
+	}
+	if len(alive) < 2 {
+		return nil
+	}
+	sort.Slice(alive, func(i, j int) bool {
+		if alive[i].cost != alive[j].cost {
+			return alive[i].cost < alive[j].cost
+		}
+		if alive[i].unav != alive[j].unav {
+			return alive[i].unav < alive[j].unav
+		}
+		return alive[i].p < alive[j].p
+	})
+	// Staircase frontier: cheapest-first, keep strict improvements in
+	// mean unavailability. Along the frontier cost increases and
+	// unavailability strictly decreases.
+	var frontier []entry
+	for _, e := range alive {
+		if len(frontier) == 0 || e.unav < frontier[len(frontier)-1].unav {
+			frontier = append(frontier, e)
+		}
+	}
+
+	dominates := func(d, c int) bool {
+		ds, cs := states[d].stats[:seedsRun], states[c].stats[:seedsRun]
+		for s := range ds {
+			if !(ds[s].cost < cs[s].cost && ds[s].unav <= cs[s].unav) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var cut []int
+	for _, c := range alive {
+		// Frontier entries strictly cheaper on mean cost...
+		hi := sort.Search(len(frontier), func(i int) bool { return frontier[i].cost >= c.cost })
+		checks := 0
+		// ...and no worse on mean unavailability form a suffix of [0, hi).
+		for j := hi - 1; j >= 0 && checks < maxDominatorChecks; j-- {
+			d := frontier[j]
+			if d.unav > c.unav {
+				break
+			}
+			if d.p == c.p {
+				continue
+			}
+			checks++
+			if dominates(d.p, c.p) {
+				cut = append(cut, c.p)
+				states[c.p].dominatedBy = d.p
+				break
+			}
+		}
+	}
+	for _, p := range cut {
+		states[p].pruned = true
+	}
+	return cut
+}

@@ -1,25 +1,29 @@
 #!/usr/bin/env bash
-# Record the hot-path price-engine benchmarks to BENCH_5.json: the four
-# end-to-end benchmarks named in the PR-5 acceptance criteria plus the
-# component benchmarks for the cursor, envelope, and closed-form stats.
+# Record the benchmark suite to BENCH_${ISSUE}.json: the end-to-end
+# scheduler/fleet benchmarks, the hot-path price-engine component
+# benchmarks, and the sweep-engine grid benchmarks (warm-start + pruning
+# vs the naive cold baseline).
 #
 # The .raw field holds the verbatim `go test -bench` lines — feed them to
-# benchstat (e.g. `jq -r '.raw[]' BENCH_5.json | benchstat /dev/stdin`) or
-# diff two recordings. BENCHTIME overrides the fixed iteration count
-# (default 3x).
+# benchstat (e.g. `jq -r '.raw[]' BENCH_6.json | benchstat /dev/stdin`) or
+# diff two recordings. Environment knobs:
+#   BENCHTIME  iteration count/duration per benchmark (default 3x)
+#   ISSUE      issue number recorded in the JSON (default 6)
+#   OUT        output path (default BENCH_${ISSUE}.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='BenchmarkSchedulerMonth$|BenchmarkFleetMonth$|BenchmarkFigure8MultiMarket$|BenchmarkFigure10PriceVariability$|BenchmarkTraceCursorWalk$|BenchmarkTracePriceAtWalk$|BenchmarkEnvelopeCursorWalk$|BenchmarkMarketScanWalk$|BenchmarkCorrelationClosedForm$'
+BENCHES='BenchmarkSchedulerMonth$|BenchmarkFleetMonth$|BenchmarkFigure8MultiMarket$|BenchmarkFigure10PriceVariability$|BenchmarkTraceCursorWalk$|BenchmarkTracePriceAtWalk$|BenchmarkEnvelopeCursorWalk$|BenchmarkMarketScanWalk$|BenchmarkCorrelationClosedForm$|BenchmarkSweepGrid$|BenchmarkSweepGridCold$'
 BENCHTIME="${BENCHTIME:-3x}"
-OUT=BENCH_5.json
+ISSUE="${ISSUE:-6}"
+OUT="${OUT:-BENCH_${ISSUE}.json}"
 
 RAW=$(go test -run NONE -bench "$BENCHES" -benchtime "$BENCHTIME" -benchmem .)
 echo "$RAW"
 
 {
 	echo '{'
-	echo '  "issue": 5,'
+	echo "  \"issue\": $ISSUE,"
 	echo "  \"benchtime\": \"$BENCHTIME\","
 	echo '  "raw": ['
 	echo "$RAW" | sed 's/\\/\\\\/g; s/"/\\"/g; s/\t/\\t/g' \
@@ -29,13 +33,14 @@ echo "$RAW"
 	echo "$RAW" | awk '
 		/^Benchmark/ {
 			name = $1; sub(/-[0-9]+$/, "", name)
-			ns = "null"; bo = "null"; ao = "null"
+			ns = "null"; bo = "null"; ao = "null"; cps = "null"
 			for (i = 2; i < NF; i++) {
 				if ($(i+1) == "ns/op") ns = $i
 				if ($(i+1) == "B/op") bo = $i
 				if ($(i+1) == "allocs/op") ao = $i
+				if ($(i+1) == "cells/s") cps = $i
 			}
-			printf "%s    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $2, ns, bo, ao
+			printf "%s    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"cells_per_s\": %s}", sep, name, $2, ns, bo, ao, cps
 			sep = ",\n"
 		}
 		END { print "" }'
