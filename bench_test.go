@@ -14,12 +14,16 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	"spothost/internal/cloud"
+	"spothost/internal/controlplane"
 	"spothost/internal/experiments"
 	"spothost/internal/fleet"
 	"spothost/internal/market"
+	"spothost/internal/scenario"
 	"spothost/internal/sched"
 	"spothost/internal/sim"
 	"spothost/internal/sweep"
@@ -354,6 +358,63 @@ func BenchmarkRunSeedsParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkControlPlane10k measures the multi-tenant control plane at its
+// 10k registered-fleet design point: each iteration registers ten
+// thousand one-day fleets (sharing one cached universe), time-slices them
+// all to completion across the default shard count, and reports the
+// sustained slice throughput plus the p99 latency of snapshot reads
+// issued while the runtime is busy — the two numbers that bound how many
+// tenants one process can serve interactively.
+func BenchmarkControlPlane10k(b *testing.B) {
+	const nFleets = 10000
+	spec := controlplane.Spec{
+		Seed:  3,
+		Days:  1,
+		Fleet: scenario.FleetDef{Strategy: "diversified"},
+	}
+	names := make([]string, nFleets)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%05d", i)
+	}
+	var stepsPerSec float64
+	var p99 time.Duration
+	for i := 0; i < b.N; i++ {
+		p := controlplane.New(controlplane.Config{
+			MaxFleets:   nFleets,
+			TenantQuota: nFleets,
+			Slice:       6 * sim.Hour, // four slices per fleet
+		})
+		start := time.Now()
+		for _, name := range names {
+			if _, err := p.Register("bench", name, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		lat := make([]time.Duration, 0, 1<<16)
+		for done := false; !done; {
+			for k := 0; k < 200; k++ {
+				t0 := time.Now()
+				if _, err := p.Snapshot("bench", names[(len(lat)*97)%nFleets]); err != nil {
+					b.Fatal(err)
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			st := p.Stats()
+			if st.Failed > 0 {
+				b.Fatalf("%d fleets failed", st.Failed)
+			}
+			done = st.Done == nFleets
+		}
+		elapsed := time.Since(start).Seconds()
+		stepsPerSec = float64(p.Stats().StepsTotal) / elapsed
+		sort.Slice(lat, func(a, c int) bool { return lat[a] < lat[c] })
+		p99 = lat[len(lat)*99/100]
+		p.Close()
+	}
+	b.ReportMetric(stepsPerSec, "steps/s")
+	b.ReportMetric(float64(p99.Nanoseconds()), "p99-snapshot-ns")
 }
 
 // BenchmarkLiveMigrationModel measures the pre-copy timeline computation.

@@ -1,10 +1,12 @@
 // Command spotserve exposes the spothost simulators over HTTP (see
 // internal/httpapi for the routes):
 //
-//	spotserve -addr :8080 -max-concurrent 2 -run-timeout 5m
+//	spotserve -addr :8080 -max-concurrent 2 -run-timeout 5m -shards 4 -max-fleets 10000 -tenant-quota 1000
 //	curl localhost:8080/v1/experiments
 //	curl -X POST localhost:8080/v1/experiments/figure7 -d '{"quick":true}'
 //	curl -X POST localhost:8080/v1/scenario -d @study.json
+//	curl -X POST localhost:8080/v1/tenants/acme/fleets -d '{"name":"web","days":30,"fleet":{"strategy":"diversified"}}'
+//	curl localhost:8080/v1/tenants/acme/fleets/web/stream
 //	curl localhost:8080/metrics
 //
 // The server is admission-controlled (-max-concurrent runs at once, 429
@@ -40,16 +42,26 @@ func main() {
 		"shutdown grace period for in-flight requests on SIGINT/SIGTERM")
 	pprofAddr := flag.String("pprof-addr", "",
 		"listen address for net/http/pprof profiling endpoints (e.g. localhost:6060); empty disables")
+	shards := flag.Int("shards", 0,
+		"control-plane shard goroutines advancing registered fleets (0 = one per CPU)")
+	maxFleets := flag.Int("max-fleets", 0,
+		"registered-fleet cap across all tenants (0 = control-plane default)")
+	tenantQuota := flag.Int("tenant-quota", 0,
+		"registered-fleet cap per tenant (0 = control-plane default)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "spotserve ", log.LstdFlags)
+	api := httpapi.New(httpapi.Config{
+		MaxConcurrent: *maxConcurrent,
+		RunTimeout:    *runTimeout,
+		Logger:        logger,
+		Shards:        *shards,
+		MaxFleets:     *maxFleets,
+		TenantQuota:   *tenantQuota,
+	})
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: httpapi.New(httpapi.Config{
-			MaxConcurrent: *maxConcurrent,
-			RunTimeout:    *runTimeout,
-			Logger:        logger,
-		}),
+		Addr:    *addr,
+		Handler: api,
 		// Experiments at full fidelity run for tens of seconds.
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 15 * time.Minute,
@@ -95,6 +107,7 @@ func main() {
 		logger.Printf("shutdown: %v", err)
 		_ = srv.Close()
 	}
+	api.Close() // stop the control plane's shard runtime
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)
 	}

@@ -1,0 +1,480 @@
+// Package controlplane is the long-lived, multi-tenant fleet runtime
+// behind spotserve's /v1/tenants API: instead of one blocking simulation
+// per HTTP request, tenants register fleet scenarios into a resident
+// registry and a sharded runtime advances all of them concurrently in
+// bounded slices of virtual time.
+//
+// Architecture:
+//
+//   - The Plane owns a registry of runs keyed by tenant/name and N shards.
+//     A run is pinned to the shard its key hashes to, so all simulation
+//     work for one fleet happens on one goroutine — the fleet.Sim needs no
+//     locking, and two operations on the same fleet never race.
+//   - Each shard is one goroutine draining a FIFO ready queue: pop a run,
+//     advance its simulation by one time slice (Config.Slice of virtual
+//     time, default one day) via fleet.Sim.Step, publish a snapshot and a
+//     stream record, re-enqueue. FIFO re-enqueue is round-robin: every
+//     registered fleet makes progress at the same virtual rate regardless
+//     of how many are resident.
+//   - Results stream incrementally: each completed simulated day appends
+//     one NDJSON record (a full fleet.Report snapshot) to the run's record
+//     log; subscribers are cursors over that log, so a late subscriber
+//     replays history and then follows live. Slicing never perturbs the
+//     simulation (see fleet.Sim), so the final record is byte-identical to
+//     a standalone fleet.Run of the same spec and seed.
+//   - Admission is controlled at registration: per-tenant quotas and a
+//     global fleet cap, with finished fleets evicted LRU to make room.
+//     Rejections carry a Retry-After derived from the target shard's queue
+//     depth and the measured per-slice wall time, not a constant.
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"spothost/internal/cloud"
+	"spothost/internal/fleet"
+	"spothost/internal/market"
+	"spothost/internal/metrics"
+	"spothost/internal/scenario"
+	"spothost/internal/sim"
+	"spothost/internal/trace"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultMaxFleets bounds the registry: the 10k-fleet scale target
+	// with headroom.
+	DefaultMaxFleets = 16384
+	// DefaultTenantQuota bounds one tenant's registrations.
+	DefaultTenantQuota = 1024
+	// DefaultSlice is the virtual time a fleet advances per scheduling
+	// slice — one simulated day, matching the streaming granularity.
+	DefaultSlice = sim.Day
+	// DefaultMaxDays caps a registration's horizon, mirroring the API's
+	// MaxRequestDays bound on one-shot runs.
+	DefaultMaxDays = 90
+)
+
+// DefaultShards returns the default shard count: one per CPU.
+func DefaultShards() int { return runtime.GOMAXPROCS(0) }
+
+// Config tunes a Plane.
+type Config struct {
+	// Shards is the number of runtime goroutines. Zero or negative means
+	// DefaultShards().
+	Shards int
+	// MaxFleets caps registered fleets across all tenants; at the cap,
+	// finished fleets are evicted oldest-first to admit new ones, and
+	// registration fails with a CapacityError when none is evictable.
+	// Zero means DefaultMaxFleets.
+	MaxFleets int
+	// TenantQuota caps one tenant's registered fleets. Zero means
+	// DefaultTenantQuota.
+	TenantQuota int
+	// Slice is the virtual time one scheduling slice advances a fleet.
+	// Zero means DefaultSlice.
+	Slice sim.Duration
+	// MaxDays caps a registration's horizon. Zero means DefaultMaxDays.
+	MaxDays float64
+	// Trace, when non-nil, collects each fleet run's histograms under a
+	// per-shard scope ("shard-N/tenant/name"). Use a histogram collector:
+	// the plane hands recorders back as runs finish, so memory stays
+	// bounded.
+	Trace *trace.Collector
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards()
+	}
+	if cfg.MaxFleets <= 0 {
+		cfg.MaxFleets = DefaultMaxFleets
+	}
+	if cfg.TenantQuota <= 0 {
+		cfg.TenantQuota = DefaultTenantQuota
+	}
+	if cfg.Slice <= 0 {
+		cfg.Slice = DefaultSlice
+	}
+	if cfg.MaxDays <= 0 {
+		cfg.MaxDays = DefaultMaxDays
+	}
+	return cfg
+}
+
+// Spec is one fleet registration: the scenario-file fleet schema plus the
+// universe parameters (seed, horizon) a standalone run would take on the
+// command line.
+type Spec struct {
+	Seed  int64             `json:"seed"`
+	Days  float64           `json:"days"`
+	Fleet scenario.FleetDef `json:"fleet"`
+}
+
+// Registration/lookup errors. CapacityError carries the backpressure
+// signal; the API layer maps it to 429 + Retry-After.
+var (
+	// ErrExists rejects a duplicate tenant/name registration.
+	ErrExists = errors.New("controlplane: fleet already registered")
+	// ErrNotFound reports an unknown tenant/name.
+	ErrNotFound = errors.New("controlplane: no such fleet")
+	// ErrClosed reports an operation on a closed plane.
+	ErrClosed = errors.New("controlplane: plane is closed")
+)
+
+// CapacityError is an admission rejection: the tenant's quota or the
+// global fleet cap is exhausted. RetryAfterSeconds is derived from the
+// target shard's queue depth and the measured per-slice wall time — the
+// time by which capacity plausibly freed up — never less than 1.
+type CapacityError struct {
+	Reason            string
+	RetryAfterSeconds int
+}
+
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("controlplane: %s (retry after %ds)", e.Reason, e.RetryAfterSeconds)
+}
+
+// Plane is the control plane: registry + sharded runtime. Construct with
+// New, stop with Close. All exported methods are safe for concurrent use.
+type Plane struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	shards []*shard
+
+	// stepNanos is an EWMA of per-slice wall time (nanoseconds), the
+	// unit-of-work estimate behind Retry-After. Guarded by mu.
+	stepNanos float64
+
+	mu        sync.Mutex
+	closed    bool
+	runs      map[string]*run
+	perTenant map[string]int
+	doneSeq   uint64 // stamps finished runs for LRU eviction
+	evicted   uint64
+	rejected  uint64
+
+	// Stats-throughput window, guarded by mu.
+	lastStatsAt    time.Time
+	lastStatsSteps uint64
+}
+
+// New builds a plane and starts its shard goroutines.
+func New(cfg Config) *Plane {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Plane{
+		cfg:         cfg,
+		ctx:         ctx,
+		cancel:      cancel,
+		runs:        make(map[string]*run),
+		perTenant:   make(map[string]int),
+		lastStatsAt: time.Now(),
+	}
+	p.shards = make([]*shard, cfg.Shards)
+	for i := range p.shards {
+		p.shards[i] = newShard(p, i, cfg.Trace.Scope(fmt.Sprintf("shard-%d", i)))
+		p.wg.Add(1)
+		go p.shards[i].loop()
+	}
+	return p
+}
+
+// Close stops the runtime: in-flight slices are canceled through the
+// plane's context, the shard goroutines exit, and every blocked stream
+// reader is released. Registered state remains readable; registration is
+// refused afterwards.
+func (p *Plane) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.cancel()
+	p.wg.Wait()
+}
+
+// key is the registry key and shard-hash input.
+func key(tenant, name string) string { return tenant + "/" + name }
+
+func (p *Plane) shardFor(k string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(k))
+	return p.shards[h.Sum32()%uint32(len(p.shards))]
+}
+
+// Register admits one fleet under the tenant. The spec is validated up
+// front (bad specs fail with a plain error the API maps to 400); quota and
+// capacity rejections return a *CapacityError. On success the fleet is
+// queued on its shard and the queued snapshot is returned.
+func (p *Plane) Register(tenant, name string, spec Spec) (Snapshot, error) {
+	if tenant == "" || name == "" {
+		return Snapshot{}, fmt.Errorf("controlplane: tenant and fleet name are required")
+	}
+	if spec.Days <= 0 {
+		return Snapshot{}, fmt.Errorf("controlplane: days must be positive, got %g", spec.Days)
+	}
+	if spec.Days > p.cfg.MaxDays {
+		return Snapshot{}, fmt.Errorf("controlplane: days must be at most %g, got %g", p.cfg.MaxDays, spec.Days)
+	}
+	horizon := spec.Days * sim.Day
+	fcfg, err := spec.Fleet.Config(horizon, spec.Seed)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("controlplane: fleet spec: %w", err)
+	}
+	sh := p.shardFor(key(tenant, name))
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return Snapshot{}, ErrClosed
+	}
+	k := key(tenant, name)
+	if _, taken := p.runs[k]; taken {
+		p.mu.Unlock()
+		return Snapshot{}, ErrExists
+	}
+	if p.perTenant[tenant] >= p.cfg.TenantQuota {
+		p.rejected++
+		p.mu.Unlock()
+		return Snapshot{}, &CapacityError{
+			Reason:            fmt.Sprintf("tenant %q at quota (%d fleets)", tenant, p.cfg.TenantQuota),
+			RetryAfterSeconds: p.retryAfter(sh),
+		}
+	}
+	if len(p.runs) >= p.cfg.MaxFleets && !p.evictOneLocked() {
+		p.rejected++
+		p.mu.Unlock()
+		return Snapshot{}, &CapacityError{
+			Reason:            fmt.Sprintf("plane at capacity (%d fleets, none finished)", p.cfg.MaxFleets),
+			RetryAfterSeconds: p.retryAfter(sh),
+		}
+	}
+	r := newRun(tenant, name, spec, fcfg, horizon, sh)
+	p.runs[k] = r
+	p.perTenant[tenant]++
+	p.mu.Unlock()
+
+	sh.enqueue(r)
+	return r.snapshot(), nil
+}
+
+// evictOneLocked drops the longest-finished run to make room, reporting
+// false when no run has finished. Callers hold p.mu.
+func (p *Plane) evictOneLocked() bool {
+	var victim *run
+	var victimSeq uint64
+	for _, r := range p.runs {
+		r.mu.Lock()
+		finished := r.terminal
+		seq := r.doneSeq
+		r.mu.Unlock()
+		if !finished {
+			continue
+		}
+		if victim == nil || seq < victimSeq {
+			victim, victimSeq = r, seq
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(p.runs, key(victim.tenant, victim.name))
+	p.perTenant[victim.tenant]--
+	if p.perTenant[victim.tenant] == 0 {
+		delete(p.perTenant, victim.tenant)
+	}
+	p.evicted++
+	victim.remove()
+	victim.shard.unassign()
+	return true
+}
+
+// Unregister removes a fleet: its shard drops it at the next dequeue, open
+// streams see the log end, and its quota slot frees immediately.
+func (p *Plane) Unregister(tenant, name string) error {
+	p.mu.Lock()
+	r, ok := p.runs[key(tenant, name)]
+	if ok {
+		delete(p.runs, key(tenant, name))
+		p.perTenant[tenant]--
+		if p.perTenant[tenant] == 0 {
+			delete(p.perTenant, tenant)
+		}
+	}
+	p.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	r.remove()
+	r.shard.unassign()
+	return nil
+}
+
+// Snapshot returns the fleet's latest published state.
+func (p *Plane) Snapshot(tenant, name string) (Snapshot, error) {
+	p.mu.Lock()
+	r, ok := p.runs[key(tenant, name)]
+	p.mu.Unlock()
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return r.snapshot(), nil
+}
+
+// List returns snapshots of the tenant's fleets, sorted by name.
+func (p *Plane) List(tenant string) []Snapshot {
+	p.mu.Lock()
+	runs := make([]*run, 0, 8)
+	for _, r := range p.runs {
+		if r.tenant == tenant {
+			runs = append(runs, r)
+		}
+	}
+	p.mu.Unlock()
+	out := make([]Snapshot, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, r.snapshot())
+	}
+	sortSnapshots(out)
+	return out
+}
+
+// Stream opens a cursor over the fleet's NDJSON record log: history first,
+// then live records as simulated days complete. Callers must Close it.
+func (p *Plane) Stream(tenant, name string) (*Stream, error) {
+	p.mu.Lock()
+	r, ok := p.runs[key(tenant, name)]
+	p.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	r.mu.Lock()
+	r.subs++
+	r.mu.Unlock()
+	return &Stream{plane: p, r: r}, nil
+}
+
+// retryAfter derives the backpressure hint from a shard's queue depth and
+// the measured per-slice wall time: roughly how long until that shard has
+// drained its current queue once. Callers hold p.mu. Clamped to [1, 120].
+func (p *Plane) retryAfter(sh *shard) int {
+	depth := sh.queueDepth()
+	per := p.stepNanos / 1e9
+	if per <= 0 {
+		per = 0.01 // no slice measured yet: assume a fast one
+	}
+	secs := int(math.Ceil(float64(depth+1) * per))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 120 {
+		secs = 120
+	}
+	return secs
+}
+
+// RetryAfterSeconds estimates the current backpressure hint across the
+// busiest shard — what a rejected request should wait before retrying.
+func (p *Plane) RetryAfterSeconds() int {
+	var busiest *shard
+	depth := -1
+	for _, sh := range p.shards {
+		if d := sh.queueDepth(); d > depth {
+			depth, busiest = d, sh
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.retryAfter(busiest)
+}
+
+// observeStep folds one slice's wall time into the EWMA.
+func (p *Plane) observeStep(d time.Duration) {
+	p.mu.Lock()
+	if p.stepNanos == 0 {
+		p.stepNanos = float64(d)
+	} else {
+		p.stepNanos += (float64(d) - p.stepNanos) / 8
+	}
+	p.mu.Unlock()
+}
+
+// Stats snapshots the plane for /metrics. Step throughput is measured
+// over the window since the previous Stats call.
+func (p *Plane) Stats() metrics.ControlPlaneStats {
+	st := metrics.ControlPlaneStats{
+		TenantFleets: map[string]int{},
+		Shards:       make([]metrics.ControlPlaneShard, len(p.shards)),
+	}
+	p.mu.Lock()
+	for t, n := range p.perTenant {
+		st.TenantFleets[t] = n
+	}
+	st.Evicted = p.evicted
+	st.Rejected = p.rejected
+	runs := make([]*run, 0, len(p.runs))
+	for _, r := range p.runs {
+		runs = append(runs, r)
+	}
+	p.mu.Unlock()
+
+	st.Registered = len(runs)
+	for _, r := range runs {
+		r.mu.Lock()
+		switch r.state {
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		default:
+			st.Active++
+		}
+		st.Streams += r.subs
+		r.mu.Unlock()
+	}
+	for i, sh := range p.shards {
+		st.Shards[i] = sh.stats()
+		st.StepsTotal += st.Shards[i].Steps
+		st.SimSecondsTotal += st.Shards[i].SimSeconds
+	}
+
+	p.mu.Lock()
+	now := time.Now()
+	if dt := now.Sub(p.lastStatsAt).Seconds(); dt > 0 && st.StepsTotal >= p.lastStatsSteps {
+		st.StepsPerSecond = float64(st.StepsTotal-p.lastStatsSteps) / dt
+	}
+	p.lastStatsAt = now
+	p.lastStatsSteps = st.StepsTotal
+	p.mu.Unlock()
+	return st
+}
+
+// buildSet resolves a spec's market universe through the process-wide
+// cache, so the ten thousand fleets of one tenant sweep share one set of
+// price traces per (seed, horizon).
+func buildSet(spec Spec) (*market.Set, error) {
+	mcfg := market.DefaultConfig(spec.Seed)
+	mcfg.Horizon = spec.Days * sim.Day
+	return market.SharedCache().Generate(mcfg)
+}
+
+// buildSim constructs the run's resumable simulation.
+func buildSim(spec Spec, fcfg fleet.Config, horizon sim.Duration, rec *trace.Recorder) (*fleet.Sim, error) {
+	set, err := buildSet(spec)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.NewSim(set, cloud.DefaultParams(spec.Seed), fcfg, horizon, rec)
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package controlplane
+
+// scaleFleets is the registered-fleet count for the scale test: the 10k
+// target from the control plane's design envelope.
+const scaleFleets = 10000

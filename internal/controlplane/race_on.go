@@ -1,0 +1,8 @@
+//go:build race
+
+package controlplane
+
+// scaleFleets is reduced under the race detector: instrumented simulation
+// is ~10x slower, and the cross-shard interleavings the detector checks
+// appear at hundreds of fleets just as well as at ten thousand.
+const scaleFleets = 400

@@ -687,20 +687,51 @@ func (c *Controller) Alive() int {
 	return n
 }
 
-// Report finalizes the accounting as of the engine's current time and
-// returns the run report.
+// Report returns the run report as of the engine's current time without
+// mutating the controller: the interval since the last committed state
+// change is folded in as a read-only delta. Keeping Report pure is what
+// lets the stepped runtime (Sim, internal/controlplane) snapshot a fleet
+// mid-run at any cadence and still produce a final report byte-identical
+// to an unsnapshotted run — committing the tail here would split the
+// accumulators' float sums at every snapshot point.
 func (c *Controller) Report() Report {
 	now := c.eng.Now()
-	c.advance(now)
+	var dTarget, dServed, dSpot, dOD float64
+	var dm map[market.ID]MarketUsage
+	if dt := float64(now - c.lastAccounted); dt > 0 {
+		dm = make(map[market.ID]MarketUsage, 4)
+		alive := 0
+		for _, r := range c.replicas {
+			if !r.in.Alive() {
+				continue
+			}
+			alive++
+			u := dm[r.in.Market()]
+			if r.spot {
+				dSpot += dt
+				u.SpotSeconds += dt
+			} else {
+				dOD += dt
+				u.OnDemandSeconds += dt
+			}
+			dm[r.in.Market()] = u
+		}
+		dTarget = float64(c.target) * dt
+		served := alive
+		if served > c.target {
+			served = c.target
+		}
+		dServed = float64(served) * dt
+	}
 	rep := Report{
 		Strategy:             c.cfg.Strategy.Name(),
 		Horizon:              sim.Duration(now),
-		TargetReplicaSeconds: c.targetSecs,
-		ServedReplicaSeconds: c.servedSecs,
+		TargetReplicaSeconds: c.targetSecs + dTarget,
+		ServedReplicaSeconds: c.servedSecs + dServed,
 		PeakTarget:           c.peakTarget,
 		Cost:                 c.prov.Ledger().Total(),
-		SpotSeconds:          c.spotSecs,
-		OnDemandSeconds:      c.odSecs,
+		SpotSeconds:          c.spotSecs + dSpot,
+		OnDemandSeconds:      c.odSecs + dOD,
 		Launches:             c.launches,
 		SpotLaunches:         c.launches - c.odFallbacks,
 		OnDemandFallbacks:    c.odFallbacks,
@@ -714,9 +745,13 @@ func (c *Controller) Report() Report {
 	// All-on-demand baseline: serving the full target from the cheapest
 	// on-demand market, billed continuously.
 	odRate := c.prov.OnDemandPrice(c.cheapestOnDemand())
-	rep.BaselineCost = c.targetSecs / float64(sim.Hour) * odRate
+	rep.BaselineCost = rep.TargetReplicaSeconds / float64(sim.Hour) * odRate
 	for id, u := range c.marketSecs {
-		rep.MarketSeconds[id] = *u
+		m := *u
+		d := dm[id]
+		m.SpotSeconds += d.SpotSeconds
+		m.OnDemandSeconds += d.OnDemandSeconds
+		rep.MarketSeconds[id] = m
 	}
 	times := make([]sim.Time, 0, len(c.lossAt))
 	for t := range c.lossAt {

@@ -30,27 +30,19 @@ func RunCtx(ctx context.Context, set *market.Set, cloudParams cloud.Params,
 // engine: replica launches, revocation warnings and losses record into it,
 // one track per market (revocation clustering is visible as a burst of
 // loss instants in one lane). A nil recorder traces nothing at no cost.
+// It is one maximal Step of a Sim; the control plane drives the same
+// machinery in bounded slices instead.
 func RunTracedCtx(ctx context.Context, set *market.Set, cloudParams cloud.Params,
 	cfg Config, horizon sim.Duration, rec *trace.Recorder) (Report, error) {
 
-	if horizon <= 0 || horizon > set.Horizon() {
-		horizon = set.Horizon()
-	}
-	eng := sim.NewEngine()
-	eng.SetRecorder(rec)
-	prov := cloud.NewProvider(eng, set, cloudParams)
-	c, err := New(prov, cfg)
+	s, err := NewSim(set, cloudParams, cfg, horizon, rec)
 	if err != nil {
 		return Report{}, err
 	}
-	c.Start()
-	if err := eng.RunUntilCtx(ctx, horizon); err != nil {
+	if _, err := s.Step(ctx, s.Horizon()); err != nil {
 		return Report{}, err
 	}
-	rec.CloseOpen(eng.Now())
-	rep := c.Report()
-	rep.Seed = cloudParams.Seed
-	return rep, nil
+	return s.Report(), nil
 }
 
 // RunSeeds runs the same fleet configuration against synthetic universes

@@ -3,20 +3,32 @@
 // code:
 //
 //	GET  /healthz               liveness
-//	GET  /metrics               serving + market-cache metrics (Prometheus text)
+//	GET  /metrics               serving + control-plane + market-cache metrics (Prometheus text)
 //	GET  /v1/experiments        list the paper's tables/figures
 //	POST /v1/experiments/{name} run one experiment  {"quick": true, "seeds": 2, "days": 10}
 //	POST /v1/scenario           run a declarative scenario: services and/or fleets (internal/scenario schema)
+//
+// and the multi-tenant control plane (internal/controlplane), where fleets
+// are registered once and advanced by a resident sharded runtime instead
+// of blocking a request for the whole run:
+//
+//	POST   /v1/tenants/{tenant}/fleets               register a fleet  {"name": ..., "seed": ..., "days": ..., "fleet": {...}}
+//	GET    /v1/tenants/{tenant}/fleets               list the tenant's fleets
+//	GET    /v1/tenants/{tenant}/fleets/{name}        snapshot one fleet's progress and report
+//	DELETE /v1/tenants/{tenant}/fleets/{name}        unregister
+//	GET    /v1/tenants/{tenant}/fleets/{name}/stream NDJSON: one report record per simulated day
 //
 // Responses are JSON; experiment responses carry both the rendered text
 // table and, where available, the CSV series.
 //
 // The serving layer is admission-controlled and cancelable: at most
 // Config.MaxConcurrent simulation runs execute at once (excess requests
-// get 429 with Retry-After), each run inherits the request's context
-// (bounded by Config.RunTimeout when set), and a client disconnect aborts
-// the underlying simulation within one engine cancellation-poll batch,
-// freeing its pool workers.
+// get 429 with a Retry-After derived from the control plane's measured
+// backpressure), each run inherits the request's context (bounded by
+// Config.RunTimeout when set), and a client disconnect aborts the
+// underlying simulation within one engine cancellation-poll batch,
+// freeing its pool workers. Oversized request bodies (over 1 MiB) get
+// 413; API horizons are capped at MaxRequestDays with a 400.
 package httpapi
 
 import (
@@ -27,9 +39,11 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"spothost/internal/controlplane"
 	"spothost/internal/experiments"
 	"spothost/internal/market"
 	"spothost/internal/metrics"
@@ -68,6 +82,13 @@ type Config struct {
 	// Logger receives one structured line per request and one per run
 	// outcome. Nil discards logs.
 	Logger *log.Logger
+
+	// Shards, MaxFleets and TenantQuota tune the resident control plane
+	// behind /v1/tenants (see internal/controlplane). Zero means the
+	// control plane's defaults.
+	Shards      int
+	MaxFleets   int
+	TenantQuota int
 }
 
 // Server is the API's handler: a mux wrapped with per-request logging,
@@ -82,7 +103,9 @@ type Server struct {
 	// server executes; spans are discarded as runs finish, so memory stays
 	// bounded. Rendered into GET /metrics alongside the serving counters.
 	traces *trace.Collector
-	mux    *http.ServeMux
+	// plane is the resident multi-tenant fleet runtime behind /v1/tenants.
+	plane *controlplane.Plane
+	mux   *http.ServeMux
 
 	// runExperiment is a seam for tests to substitute a controllable run.
 	runExperiment func(ctx context.Context, entry experiments.Entry, opts experiments.Options) (experiments.Renderer, error)
@@ -107,15 +130,28 @@ func New(cfg Config) *Server {
 			return entry.Run(opts)
 		},
 	}
+	s.plane = controlplane.New(controlplane.Config{
+		Shards:      cfg.Shards,
+		MaxFleets:   cfg.MaxFleets,
+		TenantQuota: cfg.TenantQuota,
+		MaxDays:     MaxRequestDays,
+		Trace:       s.traces,
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/experiments", s.handleList)
 	mux.HandleFunc("/v1/experiments/", s.handleExperiment)
 	mux.HandleFunc("/v1/scenario", s.handleScenario)
+	mux.HandleFunc("/v1/tenants/", s.handleTenants)
 	s.mux = mux
 	return s
 }
+
+// Close stops the control plane's shard runtime: in-flight fleet slices
+// are canceled and blocked stream readers released. Read-only routes stay
+// usable; registrations are refused afterwards.
+func (s *Server) Close() { s.plane.Close() }
 
 // Handler returns the API's http.Handler with default configuration.
 func Handler() http.Handler {
@@ -131,6 +167,15 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streaming handlers behind the
+// logging wrapper still see an http.Flusher: embedding alone would hide
+// the underlying writer's optional interfaces.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // ServeHTTP dispatches to the mux with per-request structured logging.
@@ -156,6 +201,15 @@ func (s *Server) acquire() bool {
 }
 
 func (s *Server) release() { <-s.sem }
+
+// rejectBusy answers an admission rejection: 429 with a Retry-After
+// derived from the control plane's measured per-slice wall time and queue
+// depth — the live backpressure signal — rather than a constant.
+func (s *Server) rejectBusy(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.plane.RetryAfterSeconds()))
+	writeError(w, http.StatusTooManyRequests,
+		"at most %d concurrent runs; retry shortly", s.cfg.MaxConcurrent)
+}
 
 // runCtx derives a run's context from the request: the client's context
 // (so a disconnect cancels the simulation) bounded by RunTimeout.
@@ -265,6 +319,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.serving.Snapshot().WritePrometheus(w, "spotserve")
+	s.plane.Stats().WritePrometheus(w, "spotserve")
 	s.traces.WritePrometheus(w, "spotserve")
 	cs := market.SharedCache().Stats()
 	fmt.Fprintf(w, "# HELP spotserve_market_cache_hits_total Universe lookups served from cache.\n"+
@@ -287,21 +342,35 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"experiments": names})
 }
 
+// writeBodyError maps a request-body failure to a response: a body over
+// the MaxBytesReader limit is 413 (and the reader has already told the
+// server to close the connection), anything else 400.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds %d bytes", mbe.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
 // decodeExperimentRequest parses and validates the request body. An empty
 // body means defaults; truncated or malformed JSON and out-of-range
-// fields are rejected.
-func decodeExperimentRequest(r *http.Request) (ExperimentRequest, error) {
+// fields are rejected. The writer is handed to MaxBytesReader so an
+// oversized body also closes the connection.
+func decodeExperimentRequest(w http.ResponseWriter, r *http.Request) (ExperimentRequest, error) {
 	var req ExperimentRequest
 	if r.Body == nil {
 		return req, nil
 	}
-	err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20)).Decode(&req)
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req)
 	switch {
 	case err == nil, errors.Is(err, io.EOF): // EOF: empty body = defaults
 	case errors.Is(err, io.ErrUnexpectedEOF):
 		return req, fmt.Errorf("truncated JSON body")
 	default:
-		return req, fmt.Errorf("bad request body: %v", err)
+		return req, fmt.Errorf("bad request body: %w", err)
 	}
 	if req.Seeds < 0 || req.Seeds > MaxRequestSeeds {
 		return req, fmt.Errorf("seeds must be between 0 and %d, got %d", MaxRequestSeeds, req.Seeds)
@@ -323,9 +392,9 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown experiment %q", name)
 		return
 	}
-	req, err := decodeExperimentRequest(r)
+	req, err := decodeExperimentRequest(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeBodyError(w, err)
 		return
 	}
 	opts := experiments.Defaults()
@@ -344,9 +413,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !s.acquire() {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
-			"at most %d concurrent runs; retry shortly", s.cfg.MaxConcurrent)
+		s.rejectBusy(w)
 		return
 	}
 	defer s.release()
@@ -382,7 +449,7 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	}
 	sc, err := scenario.Load(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeBodyError(w, err)
 		return
 	}
 	if sc.Traces != "" {
@@ -390,11 +457,16 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "trace replay is not available over the API")
 		return
 	}
+	if sc.Days > MaxRequestDays {
+		// The CLI runs arbitrary horizons; one HTTP request's work stays
+		// bounded.
+		writeError(w, http.StatusBadRequest,
+			"days must be at most %d for API runs, got %g", MaxRequestDays, sc.Days)
+		return
+	}
 
 	if !s.acquire() {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
-			"at most %d concurrent runs; retry shortly", s.cfg.MaxConcurrent)
+		s.rejectBusy(w)
 		return
 	}
 	defer s.release()

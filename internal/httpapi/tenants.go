@@ -1,0 +1,161 @@
+package httpapi
+
+// The /v1/tenants routes: the HTTP face of internal/controlplane. Unlike
+// /v1/scenario, which blocks one admission slot for a whole simulation,
+// these handlers only touch the resident registry — registration enqueues
+// the fleet on its shard and returns immediately, and results arrive
+// through snapshots or the NDJSON stream.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"spothost/internal/controlplane"
+	"spothost/internal/scenario"
+)
+
+// FleetRegistration is the POST /v1/tenants/{tenant}/fleets body: the
+// scenario-file fleet schema plus the universe parameters a standalone run
+// would take on the command line.
+type FleetRegistration struct {
+	Name  string            `json:"name"`
+	Seed  int64             `json:"seed"`
+	Days  float64           `json:"days"`
+	Fleet scenario.FleetDef `json:"fleet"`
+}
+
+// handleTenants dispatches the /v1/tenants/{tenant}/fleets... routes.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/tenants/")
+	parts := strings.Split(rest, "/")
+	if len(parts) < 2 || parts[0] == "" || parts[1] != "fleets" {
+		writeError(w, http.StatusNotFound, "unknown route; see /v1/tenants/{tenant}/fleets")
+		return
+	}
+	tenant := parts[0]
+	switch {
+	case len(parts) == 2:
+		switch r.Method {
+		case http.MethodPost:
+			s.handleTenantRegister(w, r, tenant)
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK,
+				map[string][]controlplane.Snapshot{"fleets": s.plane.List(tenant)})
+		default:
+			writeError(w, http.StatusMethodNotAllowed, "use POST or GET")
+		}
+	case len(parts) == 3 && parts[2] != "":
+		name := parts[2]
+		switch r.Method {
+		case http.MethodGet:
+			snap, err := s.plane.Snapshot(tenant, name)
+			if err != nil {
+				writePlaneError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, snap)
+		case http.MethodDelete:
+			if err := s.plane.Unregister(tenant, name); err != nil {
+				writePlaneError(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			writeError(w, http.StatusMethodNotAllowed, "use GET or DELETE")
+		}
+	case len(parts) == 4 && parts[2] != "" && parts[3] == "stream":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		s.handleTenantStream(w, r, tenant, parts[2])
+	default:
+		writeError(w, http.StatusNotFound, "unknown route; see /v1/tenants/{tenant}/fleets")
+	}
+}
+
+func (s *Server) handleTenantRegister(w http.ResponseWriter, r *http.Request, tenant string) {
+	var reg FleetRegistration
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&reg); err != nil {
+		writeBodyError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	name := reg.Name
+	if name == "" {
+		name = reg.Fleet.Name
+	}
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "fleet name is required")
+		return
+	}
+	snap, err := s.plane.Register(tenant, name, controlplane.Spec{
+		Seed:  reg.Seed,
+		Days:  reg.Days,
+		Fleet: reg.Fleet,
+	})
+	if err != nil {
+		writePlaneError(w, err)
+		return
+	}
+	s.logger.Printf("register tenant=%s fleet=%s days=%g seed=%d shard=%d",
+		tenant, name, reg.Days, reg.Seed, snap.Shard)
+	writeJSON(w, http.StatusCreated, snap)
+}
+
+// handleTenantStream serves the NDJSON result stream: history first, then
+// one record per completed simulated day as the shard advances the fleet.
+// A client disconnect cancels the cursor and frees its subscription slot.
+func (s *Server) handleTenantStream(w http.ResponseWriter, r *http.Request, tenant, name string) {
+	st, err := s.plane.Stream(tenant, name)
+	if err != nil {
+		writePlaneError(w, err)
+		return
+	}
+	defer st.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for {
+		recs, done, err := st.Next(r.Context())
+		if err != nil {
+			return // client disconnected or the plane closed
+		}
+		for _, rec := range recs {
+			if _, err := w.Write(rec); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// writePlaneError maps a control-plane error to a response: admission
+// rejections carry their computed Retry-After, conflicts and lookups map
+// to the usual codes, and anything else is a validation failure.
+func writePlaneError(w http.ResponseWriter, err error) {
+	var ce *controlplane.CapacityError
+	switch {
+	case errors.As(err, &ce):
+		w.Header().Set("Retry-After", strconv.Itoa(ce.RetryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, controlplane.ErrExists):
+		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, controlplane.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, controlplane.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}

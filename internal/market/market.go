@@ -43,6 +43,23 @@ type ID struct {
 // String returns "region/type".
 func (id ID) String() string { return string(id.Region) + "/" + string(id.Type) }
 
+// MarshalText renders the ID as "region/type", making it usable as a JSON
+// map key (fleet reports keyed by market stream over the control-plane
+// API). encoding/json sorts text-marshaled map keys, so such documents
+// are deterministic.
+func (id ID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// UnmarshalText parses "region/type".
+func (id *ID) UnmarshalText(b []byte) error {
+	s := string(b)
+	i := strings.IndexByte(s, '/')
+	if i <= 0 || i == len(s)-1 {
+		return fmt.Errorf("market: bad ID %q, want region/type", s)
+	}
+	id.Region, id.Type = Region(s[:i]), InstanceType(s[i+1:])
+	return nil
+}
+
 // Point is one step of a piecewise-constant price trace: the price holds
 // from T until the next point's T.
 type Point struct {

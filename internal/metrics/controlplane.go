@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ControlPlaneShard is one shard's counters: how many fleets it owns, how
+// deep its ready queue is right now, and how much work it has done.
+type ControlPlaneShard struct {
+	// Fleets is the number of registered fleets hashed to this shard
+	// (including finished ones not yet evicted).
+	Fleets int
+	// QueueDepth is the number of fleets waiting for their next time
+	// slice — the backpressure signal Retry-After is derived from.
+	QueueDepth int
+	// Steps counts completed time slices; SimSeconds integrates the
+	// virtual time those slices advanced.
+	Steps      uint64
+	SimSeconds float64
+}
+
+// ControlPlaneStats is a point-in-time snapshot of a control plane: the
+// long-lived multi-tenant fleet runtime behind the /v1/tenants API. The
+// control plane produces it; WritePrometheus renders it alongside the
+// serving counters on GET /metrics.
+type ControlPlaneStats struct {
+	// TenantFleets counts registered fleets per tenant (the quota gauge).
+	TenantFleets map[string]int
+	// Registered/Active/Done/Failed break the registry down by state;
+	// Registered is their sum.
+	Registered int
+	Active     int
+	Done       int
+	Failed     int
+	// Evicted counts finished fleets dropped to admit new ones; Rejected
+	// counts registrations refused at admission (quota or capacity).
+	Evicted  uint64
+	Rejected uint64
+	// Streams is the number of NDJSON subscriptions currently open.
+	Streams int
+	// StepsTotal and SimSecondsTotal aggregate the shards' progress
+	// counters; StepsPerSecond is the recent step throughput measured
+	// between stats snapshots.
+	StepsTotal      uint64
+	SimSecondsTotal float64
+	StepsPerSecond  float64
+	// Shards holds the per-shard breakdown, indexed by shard number.
+	Shards []ControlPlaneShard
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format with every metric name prefixed by prefix + "_cp_". Tenant and
+// shard series are emitted in sorted order, so the rendering is
+// deterministic for a given snapshot.
+func (st ControlPlaneStats) WritePrometheus(w io.Writer, prefix string) {
+	p := prefix + "_cp"
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n%s_%s %v\n",
+			p, name, help, p, name, p, name, v)
+	}
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %v\n",
+			p, name, help, p, name, p, name, v)
+	}
+	gauge("fleets_registered", "Fleets currently registered across all tenants.", st.Registered)
+	gauge("fleets_active", "Registered fleets still advancing (not done or failed).", st.Active)
+	gauge("fleets_done", "Registered fleets that reached their horizon.", st.Done)
+	gauge("fleets_failed", "Registered fleets that stopped on an error.", st.Failed)
+	counter("fleets_evicted_total", "Finished fleets evicted to admit new registrations.", st.Evicted)
+	counter("registrations_rejected_total", "Registrations refused at admission (quota or capacity).", st.Rejected)
+	gauge("streams_open", "NDJSON result streams currently open.", st.Streams)
+	counter("steps_total", "Completed fleet time slices across all shards.", st.StepsTotal)
+	counter("sim_seconds_total", "Virtual seconds advanced across all shards.", st.SimSecondsTotal)
+	gauge("steps_per_second", "Recent step throughput (slices per wall second).", st.StepsPerSecond)
+
+	if len(st.TenantFleets) > 0 {
+		tenants := make([]string, 0, len(st.TenantFleets))
+		for t := range st.TenantFleets {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		fmt.Fprintf(w, "# HELP %s_tenant_fleets Registered fleets by tenant.\n# TYPE %s_tenant_fleets gauge\n", p, p)
+		for _, t := range tenants {
+			fmt.Fprintf(w, "%s_tenant_fleets{tenant=%q} %d\n", p, t, st.TenantFleets[t])
+		}
+	}
+	if len(st.Shards) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s_shard_fleets Registered fleets by shard.\n# TYPE %s_shard_fleets gauge\n", p, p)
+	for i, sh := range st.Shards {
+		fmt.Fprintf(w, "%s_shard_fleets{shard=\"%d\"} %d\n", p, i, sh.Fleets)
+	}
+	fmt.Fprintf(w, "# HELP %s_shard_queue_depth Fleets awaiting their next slice, by shard.\n# TYPE %s_shard_queue_depth gauge\n", p, p)
+	for i, sh := range st.Shards {
+		fmt.Fprintf(w, "%s_shard_queue_depth{shard=\"%d\"} %d\n", p, i, sh.QueueDepth)
+	}
+	fmt.Fprintf(w, "# HELP %s_shard_steps_total Completed time slices by shard.\n# TYPE %s_shard_steps_total counter\n", p, p)
+	for i, sh := range st.Shards {
+		fmt.Fprintf(w, "%s_shard_steps_total{shard=\"%d\"} %d\n", p, i, sh.Steps)
+	}
+	fmt.Fprintf(w, "# HELP %s_shard_sim_seconds_total Virtual seconds advanced by shard.\n# TYPE %s_shard_sim_seconds_total counter\n", p, p)
+	for i, sh := range st.Shards {
+		fmt.Fprintf(w, "%s_shard_sim_seconds_total{shard=\"%d\"} %v\n", p, i, sh.SimSeconds)
+	}
+}

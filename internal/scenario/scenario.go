@@ -166,20 +166,8 @@ func (sc Scenario) Validate() error {
 			return fmt.Errorf("scenario: duplicate name %q", f.Name)
 		}
 		seen[f.Name] = true
-		if _, ok := fleet.StrategyFor(f.strategyName()); !ok {
-			return fmt.Errorf("scenario: fleet %q: unknown strategy %q", f.Name, f.Strategy)
-		}
-		if _, err := parseMarkets(f.Markets); err != nil {
+		if err := f.Validate(); err != nil {
 			return fmt.Errorf("scenario: fleet %q: %w", f.Name, err)
-		}
-		if f.BaseLoad < 0 || f.PeakLoad < 0 || f.PerReplicaLoad < 0 {
-			return fmt.Errorf("scenario: fleet %q: negative load", f.Name)
-		}
-		if f.PeakLoad > 0 && f.BaseLoad > 0 && f.PeakLoad < f.BaseLoad {
-			return fmt.Errorf("scenario: fleet %q: peak_load below base_load", f.Name)
-		}
-		if f.TargetMs < 0 || f.TickMinutes < 0 || f.BidMultiple < 0 || f.MaxReplicas < 0 {
-			return fmt.Errorf("scenario: fleet %q: negative parameter", f.Name)
 		}
 	}
 	return nil
@@ -308,6 +296,35 @@ const (
 	defaultFleetPerReplica = 150
 	scenarioPlanQuantum    = 128
 )
+
+// Config builds the fleet controller config this definition describes
+// over the given horizon: the exported surface the control plane uses to
+// validate and instantiate registered fleets with exactly the semantics
+// of a scenario-file fleet (same defaults, same planner selection).
+func (f FleetDef) Config(horizon sim.Duration, seed int64) (fleet.Config, error) {
+	return f.config(horizon, seed)
+}
+
+// Validate checks the definition standalone (outside a Scenario document):
+// the same field checks Scenario.Validate applies per fleet.
+func (f FleetDef) Validate() error {
+	if _, ok := fleet.StrategyFor(f.strategyName()); !ok {
+		return fmt.Errorf("unknown strategy %q", f.Strategy)
+	}
+	if _, err := parseMarkets(f.Markets); err != nil {
+		return err
+	}
+	if f.BaseLoad < 0 || f.PeakLoad < 0 || f.PerReplicaLoad < 0 {
+		return fmt.Errorf("negative load")
+	}
+	if f.PeakLoad > 0 && f.BaseLoad > 0 && f.PeakLoad < f.BaseLoad {
+		return fmt.Errorf("peak_load below base_load")
+	}
+	if f.TargetMs < 0 || f.TickMinutes < 0 || f.BidMultiple < 0 || f.MaxReplicas < 0 {
+		return fmt.Errorf("negative parameter")
+	}
+	return nil
+}
 
 // config builds one fleet's controller config over the scenario horizon.
 func (f FleetDef) config(horizon sim.Duration, seed int64) (fleet.Config, error) {

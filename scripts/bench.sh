@@ -5,21 +5,30 @@
 # vs the naive cold baseline).
 #
 # The .raw field holds the verbatim `go test -bench` lines — feed them to
-# benchstat (e.g. `jq -r '.raw[]' BENCH_6.json | benchstat /dev/stdin`) or
+# benchstat (e.g. `jq -r '.raw[]' BENCH_7.json | benchstat /dev/stdin`) or
 # diff two recordings. Environment knobs:
-#   BENCHTIME  iteration count/duration per benchmark (default 3x)
-#   ISSUE      issue number recorded in the JSON (default 6)
-#   OUT        output path (default BENCH_${ISSUE}.json)
+#   BENCHTIME     iteration count/duration per benchmark (default 3x)
+#   CP_BENCHTIME  iteration count for the 10k-fleet control-plane benchmark
+#                 (default 1x: one iteration registers and completes 10k fleets)
+#   ISSUE         issue number recorded in the JSON (default 7)
+#   OUT           output path (default BENCH_${ISSUE}.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHES='BenchmarkSchedulerMonth$|BenchmarkFleetMonth$|BenchmarkFigure8MultiMarket$|BenchmarkFigure10PriceVariability$|BenchmarkTraceCursorWalk$|BenchmarkTracePriceAtWalk$|BenchmarkEnvelopeCursorWalk$|BenchmarkMarketScanWalk$|BenchmarkCorrelationClosedForm$|BenchmarkSweepGrid$|BenchmarkSweepGridCold$'
 BENCHTIME="${BENCHTIME:-3x}"
-ISSUE="${ISSUE:-6}"
+CP_BENCHTIME="${CP_BENCHTIME:-1x}"
+ISSUE="${ISSUE:-7}"
 OUT="${OUT:-BENCH_${ISSUE}.json}"
 
 RAW=$(go test -run NONE -bench "$BENCHES" -benchtime "$BENCHTIME" -benchmem .)
 echo "$RAW"
+# The control-plane scale benchmark runs separately at its own benchtime:
+# one iteration is already a full 10k-fleet register-and-drain cycle.
+RAW_CP=$(go test -run NONE -bench 'BenchmarkControlPlane10k$' -benchtime "$CP_BENCHTIME" .)
+echo "$RAW_CP"
+RAW="$RAW
+$RAW_CP"
 
 {
 	echo '{'
@@ -33,14 +42,16 @@ echo "$RAW"
 	echo "$RAW" | awk '
 		/^Benchmark/ {
 			name = $1; sub(/-[0-9]+$/, "", name)
-			ns = "null"; bo = "null"; ao = "null"; cps = "null"
+			ns = "null"; bo = "null"; ao = "null"; cps = "null"; sps = "null"; p99 = "null"
 			for (i = 2; i < NF; i++) {
 				if ($(i+1) == "ns/op") ns = $i
 				if ($(i+1) == "B/op") bo = $i
 				if ($(i+1) == "allocs/op") ao = $i
 				if ($(i+1) == "cells/s") cps = $i
+				if ($(i+1) == "steps/s") sps = $i
+				if ($(i+1) == "p99-snapshot-ns") p99 = $i
 			}
-			printf "%s    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"cells_per_s\": %s}", sep, name, $2, ns, bo, ao, cps
+			printf "%s    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"cells_per_s\": %s, \"steps_per_s\": %s, \"p99_snapshot_ns\": %s}", sep, name, $2, ns, bo, ao, cps, sps, p99
 			sep = ",\n"
 		}
 		END { print "" }'
