@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"spothost/internal/catalog"
 	"spothost/internal/cloud"
 	"spothost/internal/controlplane"
 	"spothost/internal/experiments"
@@ -599,4 +600,79 @@ func BenchmarkSweepGridCold(b *testing.B) {
 		cps = sum.CellsPerSec()
 	}
 	b.ReportMetric(cps, "cells/s")
+}
+
+// BenchmarkFleetMonthCatalog is BenchmarkFleetMonth over the heterogeneous
+// instance catalog: the same month of diurnal demand, but the universe is
+// widened to the ten default catalog types (40 markets) and the controller
+// may fill its unit target with any type at least as powerful as the
+// small anchor. The comparison against BenchmarkFleetMonth prices the
+// ~10x-universe overhead of typed placement.
+func BenchmarkFleetMonthCatalog(b *testing.B) {
+	demand, err := fleet.NewDiurnalDemand(fleet.DefaultDiurnalConfig(30*sim.Day, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := catalog.Default()
+	cfg := fleet.Config{
+		Strategy:   fleet.Diversified{},
+		Demand:     demand,
+		Planner:    fleet.LinearPlanner{PerReplica: 6},
+		Catalog:    cat,
+		AnchorType: "small",
+	}
+	mcfg := market.DefaultConfig(0)
+	mcfg.Types = cat.TypeSpecs()
+	var lost int
+	for i := 0; i < b.N; i++ {
+		reps, err := fleet.RunSeeds(mcfg, cloud.DefaultParams(0), cfg,
+			30*sim.Day, []int64{int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lost += reps[0].ReplicasLost
+	}
+	b.ReportMetric(float64(lost)/float64(b.N), "replicas-lost/run")
+}
+
+// BenchmarkEnvelopeCursorWalk10x walks the capacity-normalized envelope
+// over the full typed universe (ten catalog types x four regions, ~10x
+// the single-type fleet's candidate set): each candidate's price is
+// weighted by 1/units so the envelope yields the cheapest market per
+// capacity unit. The per-op cost should stay within a small constant of
+// BenchmarkEnvelopeCursorWalk — the walk is O(1) amortized per query in
+// the number of markets.
+func BenchmarkEnvelopeCursorWalk10x(b *testing.B) {
+	cat := catalog.Default()
+	mcfg := market.DefaultConfig(1)
+	mcfg.Types = cat.TypeSpecs()
+	set, err := market.Generate(mcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids, err := cat.CompatibleMarkets(set, "small")
+	if err != nil {
+		b.Fatal(err)
+	}
+	weights := make([]float64, len(ids))
+	for i, id := range ids {
+		e, _ := cat.Lookup(id.Type)
+		weights[i] = 1 / float64(e.Units)
+	}
+	env := set.Envelope(ids, weights)
+	if env == nil {
+		b.Fatal("nil envelope")
+	}
+	b.ReportMetric(float64(len(ids)), "markets")
+	step := 5 * sim.Minute
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		c := env.Cursor()
+		for t := sim.Time(0); t < env.End(); t += step {
+			_, p, _ := c.At(t)
+			acc += p
+		}
+	}
+	_ = acc
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	fleet [-quick] [-seeds 5] [-days 30] [-parallel 8] [-json] [-csv out.csv]
+//	      [-catalog default -anchor small]
 package main
 
 import (
@@ -18,7 +19,9 @@ import (
 	"os/signal"
 	"syscall"
 
+	"spothost/internal/catalog"
 	"spothost/internal/experiments"
+	"spothost/internal/market"
 	"spothost/internal/runpool"
 	"spothost/internal/sim"
 	"spothost/internal/trace"
@@ -58,6 +61,8 @@ func main() {
 	csvPath := flag.String("csv", "", "also write the per-strategy CSV to this path")
 	traceF := flag.String("trace", "", "write a run trace of every (strategy, seed) cell to this file")
 	traceFormat := flag.String("trace-format", "chrome", "trace export format: chrome (Perfetto trace_event JSON) | jsonl")
+	catalogF := flag.String("catalog", "", `instance catalog: "" (single-type legacy fleet), legacy, or default (ten heterogeneous types)`)
+	anchorF := flag.String("anchor", "small", "capacity anchor instance type; replicas must be at least this powerful (with -catalog)")
 	flag.Parse()
 
 	opts := experiments.Defaults()
@@ -77,6 +82,23 @@ func main() {
 	opts.Parallel = *parallel
 	if opts.Parallel <= 0 {
 		opts.Parallel = runpool.DefaultWorkers()
+	}
+	switch *catalogF {
+	case "":
+	case "legacy":
+		opts.Catalog = catalog.Legacy()
+	case "default":
+		opts.Catalog = catalog.Default()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -catalog %q (want legacy or default)\n", *catalogF)
+		os.Exit(2)
+	}
+	if opts.Catalog != nil {
+		opts.Anchor = market.InstanceType(*anchorF)
+		if _, ok := opts.Catalog.Lookup(opts.Anchor); !ok {
+			fmt.Fprintf(os.Stderr, "anchor type %q is not in catalog %q\n", *anchorF, *catalogF)
+			os.Exit(2)
+		}
 	}
 
 	// Ctrl-C (or SIGTERM) cancels every in-flight simulation cell; the

@@ -1,0 +1,219 @@
+package catalog
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spothost/internal/market"
+	"spothost/internal/sim"
+)
+
+func TestLegacyMatchesDefaultTypes(t *testing.T) {
+	if got, want := Legacy().TypeSpecs(), market.DefaultTypes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Legacy().TypeSpecs() = %+v, want market.DefaultTypes() %+v", got, want)
+	}
+}
+
+func TestDefaultIncludesLegacyUnchanged(t *testing.T) {
+	def := Default()
+	for _, ts := range market.DefaultTypes() {
+		e, ok := def.Lookup(ts.Name)
+		if !ok {
+			t.Fatalf("default catalog missing legacy type %q", ts.Name)
+		}
+		if e.Units != ts.Units || e.MemoryGB != ts.MemoryGB || e.OnDemand != ts.OnDemand {
+			t.Fatalf("legacy type %q drifted: %+v vs %+v", ts.Name, e, ts)
+		}
+	}
+	if def.Len() < 10 {
+		t.Fatalf("default catalog has %d types, want >= 10", def.Len())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	base := Entry{Name: "a", VCPU: 1, MemoryGB: 1, Units: 1, OnDemand: 0.1}
+	cases := []struct {
+		name string
+		mut  func(*Entry)
+	}{
+		{"empty name", func(e *Entry) { e.Name = "" }},
+		{"zero vcpu", func(e *Entry) { e.VCPU = 0 }},
+		{"negative memory", func(e *Entry) { e.MemoryGB = -1 }},
+		{"zero units", func(e *Entry) { e.Units = 0 }},
+		{"non power-of-two units", func(e *Entry) { e.Units = 3 }},
+		{"zero price", func(e *Entry) { e.OnDemand = 0 }},
+	}
+	for _, tc := range cases {
+		e := base
+		tc.mut(&e)
+		if _, err := New([]Entry{e}); err == nil {
+			t.Errorf("%s: New accepted %+v", tc.name, e)
+		}
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("New accepted an empty catalog")
+	}
+	if _, err := New([]Entry{base, base}); err == nil {
+		t.Error("New accepted a duplicate name")
+	}
+	if _, err := New([]Entry{base}); err != nil {
+		t.Errorf("New rejected a valid entry: %v", err)
+	}
+}
+
+func TestInvUnitsExact(t *testing.T) {
+	for _, e := range Default().Entries() {
+		for _, p := range []float64{0.0123, 0.06, 1.7320508, 15} {
+			if p*e.InvUnits() != p/float64(e.Units) {
+				t.Fatalf("%s: p*InvUnits != p/Units for p=%v", e.Name, p)
+			}
+		}
+	}
+}
+
+func TestCompatibleTypes(t *testing.T) {
+	def := Default()
+	got, err := def.CompatibleTypes("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[market.InstanceType]bool{}
+	for _, e := range got {
+		names[e.Name] = true
+	}
+	// t-small has less memory than small: cheapest per unit, but not a
+	// legal replacement.
+	if names["t-small"] {
+		t.Error("t-small reported compatible with small despite smaller memory")
+	}
+	if len(got) != def.Len()-1 {
+		t.Errorf("small should be replaceable by every type but t-small, got %d of %d", len(got), def.Len())
+	}
+	// m-large (4 vCPU) cannot replace c-large (8 vCPU) despite more memory.
+	cl, _ := def.Lookup("c-large")
+	ml, _ := def.Lookup("m-large")
+	if Compatible(cl, ml) {
+		t.Error("m-large reported compatible with c-large despite fewer vCPUs")
+	}
+	if _, err := def.CompatibleTypes("quantum"); err == nil {
+		t.Error("unknown anchor accepted")
+	}
+}
+
+// catalogSet generates a universe over the full default catalog.
+func catalogSet(t testing.TB, seed int64) *market.Set {
+	t.Helper()
+	cfg := market.DefaultConfig(seed)
+	cfg.Types = Default().TypeSpecs()
+	cfg.Horizon = 2 * sim.Day
+	set, err := market.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestRankAtProperties is the matcher's property test: every returned
+// candidate is at least as powerful as the anchor, candidates are sorted
+// by effective per-unit price (ties by ID), and the result matches a
+// brute-force scan over the full types × markets grid.
+func TestRankAtProperties(t *testing.T) {
+	def := Default()
+	set := catalogSet(t, 5)
+	rng := rand.New(rand.NewSource(99))
+	anchors := []market.InstanceType{"small", "medium", "large", "xlarge", "c-large", "m-large", "t-small"}
+	for trial := 0; trial < 200; trial++ {
+		anchor := anchors[rng.Intn(len(anchors))]
+		a, _ := def.Lookup(anchor)
+		at := sim.Time(rng.Float64() * float64(2*sim.Day))
+		ranked, err := def.RankAt(set, anchor, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ranked) == 0 {
+			t.Fatalf("anchor %s: empty ranking", anchor)
+		}
+		for i, c := range ranked {
+			if c.Entry.VCPU < a.VCPU || c.Entry.MemoryGB < a.MemoryGB {
+				t.Fatalf("anchor %s: candidate %s weaker than anchor", anchor, c.ID)
+			}
+			if want := c.Spot / float64(c.Entry.Units); c.PerUnit != want {
+				t.Fatalf("anchor %s: candidate %s PerUnit %v != spot/units %v", anchor, c.ID, c.PerUnit, want)
+			}
+			if i > 0 {
+				prev := ranked[i-1]
+				if c.PerUnit < prev.PerUnit {
+					t.Fatalf("anchor %s: ranking not sorted at %d", anchor, i)
+				}
+				if c.PerUnit == prev.PerUnit && c.ID.String() < prev.ID.String() {
+					t.Fatalf("anchor %s: ID tie-break violated at %d", anchor, i)
+				}
+			}
+		}
+
+		// Brute force: every (type, market) cell of the grid.
+		naive := map[market.ID]float64{}
+		for _, id := range set.IDs() {
+			e, known := def.Lookup(id.Type)
+			if !known || !Compatible(a, e) {
+				continue
+			}
+			naive[id] = set.Trace(id).PriceAt(at) / float64(e.Units)
+		}
+		if len(naive) != len(ranked) {
+			t.Fatalf("anchor %s: ranked %d candidates, naive grid has %d", anchor, len(ranked), len(naive))
+		}
+		bestPer, bestID := -1.0, market.ID{}
+		for id, per := range naive {
+			if bestPer < 0 || per < bestPer || (per == bestPer && id.String() < bestID.String()) {
+				bestPer, bestID = per, id
+			}
+		}
+		for _, c := range ranked {
+			per, ok := naive[c.ID]
+			if !ok || per != c.PerUnit {
+				t.Fatalf("anchor %s: candidate %s disagrees with naive scan", anchor, c.ID)
+			}
+		}
+		if ranked[0].ID != bestID || ranked[0].PerUnit != bestPer {
+			t.Fatalf("anchor %s at %v: argmin %s (%v) != naive argmin %s (%v)",
+				anchor, at, ranked[0].ID, ranked[0].PerUnit, bestID, bestPer)
+		}
+	}
+}
+
+func TestCompatibleMarketsSorted(t *testing.T) {
+	def := Default()
+	set := catalogSet(t, 7)
+	ids, err := def.CompatibleMarkets(set, "xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		e, _ := def.Lookup(id.Type)
+		if e.VCPU < 8 || e.MemoryGB < 15 {
+			t.Fatalf("market %s weaker than xlarge anchor", id)
+		}
+		if i > 0 && ids[i-1].String() >= id.String() {
+			t.Fatalf("markets not sorted at %d", i)
+		}
+	}
+	// xlarge is replaceable by xlarge, m-xlarge, xxlarge in 4 regions.
+	if want := 3 * 4; len(ids) != want {
+		t.Fatalf("xlarge anchor: %d compatible markets, want %d", len(ids), want)
+	}
+	if _, err := def.CompatibleMarkets(set, "nope"); err == nil {
+		t.Error("unknown anchor accepted")
+	}
+}
+
+func TestFromTypes(t *testing.T) {
+	c, err := FromTypes(market.DefaultTypes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.TypeSpecs(), market.DefaultTypes()) {
+		t.Fatal("FromTypes round-trip drifted")
+	}
+}

@@ -467,6 +467,13 @@ func (p *Plane) Stats() metrics.ControlPlaneStats {
 func buildSet(spec Spec) (*market.Set, error) {
 	mcfg := market.DefaultConfig(spec.Seed)
 	mcfg.Horizon = spec.Days * sim.Day
+	types, err := spec.Fleet.TypeSpecs()
+	if err != nil {
+		return nil, err
+	}
+	if types != nil {
+		mcfg.Types = types
+	}
 	return market.SharedCache().Generate(mcfg)
 }
 

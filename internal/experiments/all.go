@@ -36,6 +36,7 @@ func All() []Entry {
 		{"ablations", func(o Options) (Renderer, error) { return Ablations(o) }},
 		{"robustness", func(o Options) (Renderer, error) { return Robustness(o) }},
 		{"fleet", func(o Options) (Renderer, error) { return Fleet(o) }},
+		{"heterogeneity", func(o Options) (Renderer, error) { return Heterogeneity(o) }},
 	}
 }
 

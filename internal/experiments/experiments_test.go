@@ -350,7 +350,7 @@ func TestSection6(t *testing.T) {
 func TestAllRegistryComplete(t *testing.T) {
 	want := []string{"figure1", "table1", "table2", "figure6", "figure7", "figure8",
 		"figure9", "figure10", "figure11", "table3", "table4", "figure12", "section6",
-		"ablations", "robustness", "fleet"}
+		"ablations", "robustness", "fleet", "heterogeneity"}
 	entries := All()
 	if len(entries) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(entries), len(want))

@@ -81,6 +81,24 @@ type FleetResult struct {
 func Fleet(opts Options) (FleetResult, error) {
 	opts = opts.normalize()
 	res := FleetResult{Markets: fleetMarkets(opts), Window: fleetLossWindow}
+	anchor := opts.Anchor
+	if anchor == "" {
+		anchor = heterogeneityAnchor
+	}
+	if opts.Catalog != nil {
+		// The candidate universe is every catalog-compatible market of
+		// the widened set, not the per-region small markets.
+		mc := opts.Market
+		mc.Seed = opts.Seeds[0]
+		mc.Types = opts.Catalog.TypeSpecs()
+		set, err := market.SharedCache().Generate(mc)
+		if err != nil {
+			return res, err
+		}
+		if res.Markets, err = opts.Catalog.CompatibleMarkets(set, anchor); err != nil {
+			return res, err
+		}
+	}
 	planner, err := fleetPlanner()
 	if err != nil {
 		return res, err
@@ -100,6 +118,9 @@ func Fleet(opts Options) (FleetResult, error) {
 		seed := opts.Seeds[i%ns]
 		mc := opts.Market
 		mc.Seed = seed
+		if opts.Catalog != nil {
+			mc.Types = opts.Catalog.TypeSpecs()
+		}
 		set, err := cache.Generate(mc)
 		if err != nil {
 			return fleet.Report{}, err
@@ -107,12 +128,17 @@ func Fleet(opts Options) (FleetResult, error) {
 		cp := opts.Cloud
 		cp.Seed = seed
 		cfg := fleet.Config{
-			Markets:     res.Markets,
 			Strategy:    strategies[i/ns],
 			Demand:      demand,
 			Planner:     planner,
 			BidMultiple: fleetBidMultiple,
 			MaxReplicas: fleetMaxReplicas,
+		}
+		if opts.Catalog != nil {
+			cfg.Catalog = opts.Catalog
+			cfg.AnchorType = anchor
+		} else {
+			cfg.Markets = res.Markets
 		}
 		var rec *trace.Recorder
 		if opts.Trace != nil {

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"spothost/internal/catalog"
+	"spothost/internal/fleet"
+	"spothost/internal/market"
+	"spothost/internal/runpool"
+)
+
+// heterogeneityAnchor is the capacity anchor both arms plan in: the
+// paper's smallest general-purpose type, one capacity unit per replica.
+const heterogeneityAnchor = "small"
+
+// HeterogeneityRow is one allocation strategy's paired outcome: the same
+// demand served from single-type small markets versus the full typed
+// catalog over the same universe.
+type HeterogeneityRow struct {
+	Strategy string
+	// Single and Typed are cross-seed average reports for the two arms.
+	Single fleet.Report
+	Typed  fleet.Report
+	// SingleSeeds and TypedSeeds hold the per-seed reports, in seed order.
+	SingleSeeds []fleet.Report
+	TypedSeeds  []fleet.Report
+	// Savings is 1 - typed/single mean dollar cost.
+	Savings float64
+	// TypesUsed counts distinct instance types the typed arm ever billed.
+	TypesUsed int
+}
+
+// HeterogeneityResult compares homogeneous and catalog-driven fleets.
+type HeterogeneityResult struct {
+	// SingleMarkets and TypedMarkets are the candidate-universe sizes of
+	// the two arms (4 small markets vs every catalog-compatible market).
+	SingleMarkets int
+	TypedMarkets  int
+	Rows          []HeterogeneityRow
+}
+
+// Heterogeneity runs the instance-catalog experiment: for each allocation
+// strategy, a fleet restricted to the per-region "small" markets (the
+// pre-catalog configuration) races a fleet over the full default catalog
+// anchored at small — same typed universe, same demand, same planner, so
+// the only difference is the replacement pool. The typed arm may fill its
+// unit target with any compatible size whose per-unit price currently
+// wins (e.g. compute-optimized types undercut small per unit even on
+// demand), which is where the savings come from.
+func Heterogeneity(opts Options) (HeterogeneityResult, error) {
+	opts = opts.normalize()
+	cat := catalog.Default()
+	res := HeterogeneityResult{}
+	planner, err := fleetPlanner()
+	if err != nil {
+		return res, err
+	}
+	dcfg := fleet.DefaultDiurnalConfig(opts.Horizon, fleetDemandSeed)
+	dcfg.Base = fleetBaseLoad
+	dcfg.Peak = fleetPeakLoad
+	demand, err := fleet.NewDiurnalDemand(dcfg)
+	if err != nil {
+		return res, err
+	}
+	singleMarkets := fleetMarkets(opts)
+	res.SingleMarkets = len(singleMarkets)
+
+	strategies := fleet.Strategies()
+	ns := len(opts.Seeds)
+	cache := market.SharedCache()
+	// Cell layout: arm-major, then strategy, then seed. Both arms share
+	// the typed universe via the market cache.
+	cells := make([]int, 2*len(strategies)*ns)
+	reports, err := runpool.MapCtx(opts.Context, opts.Parallel, cells, func(ctx context.Context, i, _ int) (fleet.Report, error) {
+		typed := i >= len(strategies)*ns
+		j := i % (len(strategies) * ns)
+		seed := opts.Seeds[j%ns]
+		mc := opts.Market
+		mc.Seed = seed
+		mc.Types = cat.TypeSpecs()
+		set, err := cache.Generate(mc)
+		if err != nil {
+			return fleet.Report{}, err
+		}
+		cp := opts.Cloud
+		cp.Seed = seed
+		cfg := fleet.Config{
+			Strategy:    strategies[j/ns],
+			Demand:      demand,
+			Planner:     planner,
+			BidMultiple: fleetBidMultiple,
+			MaxReplicas: fleetMaxReplicas,
+		}
+		if typed {
+			cfg.Catalog = cat
+			cfg.AnchorType = heterogeneityAnchor
+		} else {
+			cfg.Markets = singleMarkets
+		}
+		return fleet.RunCtx(ctx, set, cp, cfg, opts.Horizon)
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// The typed arm's candidate universe: every market of the typed set
+	// compatible with the anchor.
+	if ids, err := typedUniverseSize(opts, cat); err == nil {
+		res.TypedMarkets = ids
+	}
+
+	half := len(strategies) * ns
+	for s, strat := range strategies {
+		singleSeeds := reports[s*ns : (s+1)*ns]
+		typedSeeds := reports[half+s*ns : half+(s+1)*ns]
+		row := HeterogeneityRow{
+			Strategy:    strat.Name(),
+			Single:      fleet.Average(singleSeeds),
+			Typed:       fleet.Average(typedSeeds),
+			SingleSeeds: singleSeeds,
+			TypedSeeds:  typedSeeds,
+		}
+		if row.Single.Cost > 0 {
+			row.Savings = 1 - row.Typed.Cost/row.Single.Cost
+		}
+		types := map[market.InstanceType]bool{}
+		for _, rep := range typedSeeds {
+			for id, u := range rep.MarketSeconds {
+				if u.SpotSeconds+u.OnDemandSeconds > 0 {
+					types[id.Type] = true
+				}
+			}
+		}
+		row.TypesUsed = len(types)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// typedUniverseSize counts the typed arm's candidate markets without
+// rerunning generation (the cache already holds the first seed's set).
+func typedUniverseSize(opts Options, cat *catalog.Catalog) (int, error) {
+	mc := opts.Market
+	mc.Seed = opts.Seeds[0]
+	mc.Types = cat.TypeSpecs()
+	set, err := market.SharedCache().Generate(mc)
+	if err != nil {
+		return 0, err
+	}
+	ids, err := cat.CompatibleMarkets(set, heterogeneityAnchor)
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+// Render prints the single-type vs catalog comparison.
+func (r HeterogeneityResult) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Strategy,
+			fmt.Sprintf("$%.2f", row.Single.Cost),
+			fmt.Sprintf("$%.2f", row.Typed.Cost),
+			pct(row.Savings, 1),
+			pct(row.Single.CapacityShortfall(), 3),
+			pct(row.Typed.CapacityShortfall(), 3),
+			fmt.Sprintf("%d", row.TypesUsed),
+			fmt.Sprintf("%d", row.Typed.OnDemandFallbacks),
+			fmt.Sprintf("%d", row.Typed.ReplicasLost),
+		})
+	}
+	return renderTable(
+		fmt.Sprintf("Heterogeneity: single-type (%d markets) vs typed catalog (%d markets, anchor %s)",
+			r.SingleMarkets, r.TypedMarkets, heterogeneityAnchor),
+		[]string{"strategy", "single cost", "typed cost", "savings",
+			"single shortfall", "typed shortfall", "types", "od fallback", "lost"},
+		rows)
+}
+
+// CSV emits the comparison.
+func (r HeterogeneityResult) CSV() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Strategy,
+			f(row.Single.Cost), f(row.Typed.Cost), f(row.Savings),
+			f(row.Single.CapacityShortfall()), f(row.Typed.CapacityShortfall()),
+			fmt.Sprintf("%d", row.TypesUsed),
+			fmt.Sprintf("%d", row.Typed.OnDemandFallbacks),
+			fmt.Sprintf("%d", row.Typed.ReplicasLost),
+		})
+	}
+	return csvTable([]string{"strategy", "single_cost", "typed_cost", "savings",
+		"single_shortfall", "typed_shortfall", "types_used", "od_fallbacks",
+		"replicas_lost"}, rows)
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHeterogeneityClaims pins the instance-catalog acceptance claim: for
+// every allocation strategy, the typed-catalog fleet is strictly cheaper
+// than the single-type fleet at an equal-or-better capacity shortfall,
+// and the savings actually come from heterogeneous placement (more than
+// one instance type billed).
+func TestHeterogeneityClaims(t *testing.T) {
+	res, err := Heterogeneity(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 strategies, got %d", len(res.Rows))
+	}
+	if res.TypedMarkets <= res.SingleMarkets {
+		t.Fatalf("typed universe %d markets not larger than single %d",
+			res.TypedMarkets, res.SingleMarkets)
+	}
+	for _, row := range res.Rows {
+		if row.Typed.Cost >= row.Single.Cost {
+			t.Errorf("%s: typed cost $%.2f not strictly below single $%.2f",
+				row.Strategy, row.Typed.Cost, row.Single.Cost)
+		}
+		if ts, ss := row.Typed.CapacityShortfall(), row.Single.CapacityShortfall(); ts > ss {
+			t.Errorf("%s: typed shortfall %.4f worse than single %.4f",
+				row.Strategy, ts, ss)
+		}
+		if row.Savings <= 0 {
+			t.Errorf("%s: savings %.3f, want positive", row.Strategy, row.Savings)
+		}
+		if row.TypesUsed < 2 {
+			t.Errorf("%s: %d instance types billed, want >= 2", row.Strategy, row.TypesUsed)
+		}
+		if row.Typed.Rebalances == 0 {
+			t.Errorf("%s: no spot rebalances; the migration path never engaged", row.Strategy)
+		}
+	}
+}
+
+// TestHeterogeneityRegistered asserts the experiment is reachable through
+// the single registry every binary consumes.
+func TestHeterogeneityRegistered(t *testing.T) {
+	e, ok := Find("heterogeneity")
+	if !ok {
+		t.Fatal("heterogeneity experiment not in experiments.All()")
+	}
+	if e.Name != "heterogeneity" {
+		t.Fatalf("registry returned %q", e.Name)
+	}
+}
+
+// TestHeterogeneityCSV checks the CSV export shape.
+func TestHeterogeneityCSV(t *testing.T) {
+	res, err := Heterogeneity(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp CSVExporter = res
+	csv := exp.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 4 { // header + 3 strategies
+		t.Fatalf("want 4 CSV lines, got %d:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "strategy,single_cost,typed_cost,") {
+		t.Fatalf("unexpected header: %s", lines[0])
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"spothost/internal/catalog"
 	"spothost/internal/cloud"
 	"spothost/internal/market"
 	"spothost/internal/sim"
@@ -50,6 +51,14 @@ type Options struct {
 	// seed) coordinates, so exports are deterministic at any Parallel
 	// setting. Nil (the default) traces nothing at no cost.
 	Trace *trace.Collector
+	// Catalog, when set, runs fleet experiments over the heterogeneous
+	// instance catalog: the generated universe is widened to the
+	// catalog's types and replicas may be any type at least as powerful
+	// as Anchor. Nil (the default) keeps the single-type legacy fleet.
+	Catalog *catalog.Catalog
+	// Anchor is the capacity anchor type used with Catalog; empty means
+	// "small".
+	Anchor market.InstanceType
 }
 
 // Defaults returns the full-fidelity options used by cmd/paperbench:

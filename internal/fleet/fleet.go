@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 
+	"spothost/internal/catalog"
 	"spothost/internal/cloud"
 	"spothost/internal/forecast"
 	"spothost/internal/market"
@@ -27,7 +28,12 @@ const (
 	DefaultBidMultiple        = 1.5
 	DefaultMaxReplicas        = 64
 	DefaultReverseHysteresis  = 0.15
-	DefaultMaxReversePerTick  = 1
+	// DefaultRebalanceHysteresis is deliberately much stiffer than the
+	// reverse margin: a spot-to-spot move pays a full boot overlap, and a
+	// market that undercuts by less rarely stays cheap long enough to
+	// recoup it.
+	DefaultRebalanceHysteresis = 0.45
+	DefaultMaxReversePerTick   = 1
 	DefaultVolatilityHalflife = 12 * sim.Hour
 )
 
@@ -57,12 +63,30 @@ type Config struct {
 	// onto spot. Zero means DefaultReverseHysteresis; negative disables
 	// reverse replacement.
 	ReverseHysteresis float64
+	// RebalanceHysteresis is the per-unit discount another market must
+	// offer below a live spot replica's current price before the
+	// controller migrates it there (mixed-size catalog mode only). Zero
+	// means DefaultRebalanceHysteresis; negative disables rebalancing.
+	RebalanceHysteresis float64
 	// MaxReversePerTick bounds reverse replacements started per tick.
 	// Zero means DefaultMaxReversePerTick.
 	MaxReversePerTick int
 	// VolatilityHalflife is the decay half-life of the per-market price
 	// moments fed to strategies. Zero means DefaultVolatilityHalflife.
 	VolatilityHalflife sim.Duration
+	// Catalog, when set, turns on heterogeneous placement: replicas may
+	// be any catalog type at least as powerful as AnchorType
+	// (catalog.Compatible), the Planner's target and all capacity
+	// accounting are measured in capacity units (target x anchor units,
+	// filled by mixed-size replicas) and strategies compare per-unit
+	// prices. Nil preserves the legacy one-abstract-server-per-market
+	// behaviour bit-for-bit.
+	Catalog *catalog.Catalog
+	// AnchorType is the reference instance type capacity is planned in:
+	// the Planner's replica count is worth AnchorType's units each, and
+	// every candidate market must be at least as powerful. Required with
+	// Catalog; must not be set without it.
+	AnchorType market.InstanceType
 }
 
 func (cfg Config) withDefaults() Config {
@@ -80,6 +104,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.ReverseHysteresis == 0 {
 		cfg.ReverseHysteresis = DefaultReverseHysteresis
+	}
+	if cfg.RebalanceHysteresis == 0 {
+		cfg.RebalanceHysteresis = DefaultRebalanceHysteresis
 	}
 	if cfg.MaxReversePerTick <= 0 {
 		cfg.MaxReversePerTick = DefaultMaxReversePerTick
@@ -104,9 +131,17 @@ type replica struct {
 	// draining partner still serves).
 	replaces *replica
 	draining bool
+	// rebal marks a draining spot replica being migrated to a cheaper
+	// market (as opposed to a downsize shrinking it), for accounting.
+	rebal bool
 	// span is the replica's open launch span when tracing is on (0
 	// otherwise): request → running, or → never-granted.
 	span trace.SpanID
+	// units is the replica's capacity in anchor units (always 1 in
+	// legacy mode); invUnits is the exact reciprocal used to normalize
+	// its market prices.
+	units    int
+	invUnits float64
 }
 
 // Controller is the fleet controller. All methods must be called from
@@ -120,17 +155,29 @@ type Controller struct {
 	moments map[market.ID]*forecast.DecayingMoments
 
 	started  bool
-	target   int
+	target   int // anchor-replica target from the Planner, clamped
 	replicas []*replica // launch order == ascending instance ID
+
+	// Capacity-unit view of the fleet. In legacy mode (no catalog) every
+	// market and replica is worth exactly one unit, so targetUnits ==
+	// target and all unit arithmetic multiplies by 1.0 — bit-identical
+	// to the pre-catalog controller.
+	anchorUnits int
+	targetUnits int
+	mixed       bool      // any configured market bigger than one unit
+	mktUnits    []int     // per c.markets index: the type's units
+	mktInv      []float64 // per c.markets index: exact 1/units
+	mktIdx      map[market.ID]int
 
 	// Hot-path caches: the shared cheapest-market envelope (only for
 	// strategies whose pick it can reproduce exactly), the persistent tick
-	// closure, and the memoized cheapest on-demand market (on-demand
-	// prices are constants).
-	envCur    *market.EnvelopeCursor
-	tickFn    func()
-	odBest    market.ID
-	odBestSet bool
+	// closure, and the cheapest on-demand market — precomputed at
+	// construction since on-demand prices and the catalog are both fixed
+	// for the controller's lifetime (a new catalog means a new
+	// controller).
+	envCur *market.EnvelopeCursor
+	tickFn func()
+	odBest market.ID
 
 	// Time-integrated accounting, advanced before every state change.
 	lastAccounted sim.Time
@@ -145,6 +192,8 @@ type Controller struct {
 	spotLaunches int
 	odFallbacks  int
 	reverses     int
+	downsizes    int
+	rebalances   int
 	lost         int
 	neverGranted int
 	scaleDowns   int
@@ -168,9 +217,38 @@ func New(prov *cloud.Provider, cfg Config) (*Controller, error) {
 	case cfg.MinReplicas > cfg.MaxReplicas:
 		return nil, fmt.Errorf("fleet: MinReplicas %d > MaxReplicas %d", cfg.MinReplicas, cfg.MaxReplicas)
 	}
+	var anchor catalog.Entry
+	if cfg.Catalog != nil {
+		if cfg.AnchorType == "" {
+			return nil, fmt.Errorf("fleet: Catalog requires AnchorType")
+		}
+		var ok bool
+		if anchor, ok = cfg.Catalog.Lookup(cfg.AnchorType); !ok {
+			return nil, fmt.Errorf("fleet: unknown anchor instance type %q", cfg.AnchorType)
+		}
+	} else if cfg.AnchorType != "" {
+		return nil, fmt.Errorf("fleet: AnchorType %q set without a Catalog", cfg.AnchorType)
+	}
 	ids := cfg.Markets
 	if len(ids) == 0 {
-		ids = prov.Markets().IDs()
+		if cfg.Catalog != nil {
+			var err error
+			if ids, err = cfg.Catalog.CompatibleMarkets(prov.Markets(), cfg.AnchorType); err != nil {
+				return nil, fmt.Errorf("fleet: %w", err)
+			}
+		} else {
+			ids = prov.Markets().IDs()
+		}
+	} else if cfg.Catalog != nil {
+		for _, id := range ids {
+			e, ok := cfg.Catalog.Lookup(id.Type)
+			if !ok {
+				return nil, fmt.Errorf("fleet: market %s: unknown instance type %q", id, id.Type)
+			}
+			if !catalog.Compatible(anchor, e) {
+				return nil, fmt.Errorf("fleet: market %s: type %q is weaker than anchor %q", id, id.Type, cfg.AnchorType)
+			}
+		}
 	}
 	sorted := append([]market.ID(nil), ids...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].String() < sorted[j].String() })
@@ -180,26 +258,49 @@ func New(prov *cloud.Provider, cfg Config) (*Controller, error) {
 		}
 	}
 	c := &Controller{
-		eng:        prov.Engine(),
-		prov:       prov,
-		cfg:        cfg,
-		markets:    sorted,
-		moments:    map[market.ID]*forecast.DecayingMoments{},
-		marketSecs: map[market.ID]*MarketUsage{},
-		lossAt:     map[sim.Time]int{},
-		lastSample: -sim.Hour,
+		eng:         prov.Engine(),
+		prov:        prov,
+		cfg:         cfg,
+		markets:     sorted,
+		moments:     map[market.ID]*forecast.DecayingMoments{},
+		marketSecs:  map[market.ID]*MarketUsage{},
+		lossAt:      map[sim.Time]int{},
+		lastSample:  -sim.Hour,
+		anchorUnits: 1,
 	}
-	for _, id := range sorted {
+	c.mktUnits = make([]int, len(sorted))
+	c.mktInv = make([]float64, len(sorted))
+	c.mktIdx = make(map[market.ID]int, len(sorted))
+	for i, id := range sorted {
 		c.marketSecs[id] = &MarketUsage{}
+		c.mktUnits[i], c.mktInv[i] = 1, 1
+		if cfg.Catalog != nil {
+			e, _ := cfg.Catalog.Lookup(id.Type) // validated above
+			c.mktUnits[i], c.mktInv[i] = e.Units, e.InvUnits()
+			if e.Units != 1 {
+				c.mixed = true
+			}
+		}
+		c.mktIdx[id] = i
 	}
+	if cfg.Catalog != nil {
+		c.anchorUnits = anchor.Units
+	}
+	c.odBest = c.computeCheapestOnDemand()
 	c.tickFn = c.tick
 	if useEnvelope {
 		switch cfg.Strategy.(type) {
 		case LowestPrice, Diversified:
-			// Both place at the first-index cheapest feasible market, which
-			// the precomputed envelope yields in O(1) amortized; see
-			// fastPick for the exact-equivalence argument.
-			if env := prov.Markets().Envelope(sorted, nil); env != nil {
+			// Both place at the first-index cheapest feasible market (by
+			// per-unit price in catalog mode), which the precomputed
+			// envelope yields in O(1) amortized; see fastPick for the
+			// exact-equivalence argument. All-ones weights pass nil so a
+			// single-unit catalog shares the legacy envelope memo entry.
+			var weights []float64
+			if c.mixed {
+				weights = c.mktInv
+			}
+			if env := prov.Markets().Envelope(sorted, weights); env != nil {
 				c.envCur = env.Cursor()
 			}
 		}
@@ -248,11 +349,14 @@ func (c *Controller) tick() {
 		target = c.cfg.MaxReplicas
 	}
 	c.target = target
+	c.targetUnits = target * c.anchorUnits
 	if target > c.peakTarget {
 		c.peakTarget = target
 	}
 	c.reconcile()
 	c.reverseReplace()
+	c.downsize()
+	c.rebalance()
 	c.sampleOccupancy(now)
 	c.eng.PostAfter(c.cfg.Tick, c.tickFn)
 }
@@ -267,39 +371,55 @@ func (c *Controller) bid(id market.ID) float64 {
 	return b
 }
 
-// capacityCount counts replicas the controller treats as durable serving
-// capacity: anything not warned of revocation and not a still-pending
-// reverse replacement (whose draining partner is counted instead).
-func (c *Controller) capacityCount() int {
+// capacityUnits sums the capacity units of replicas the controller
+// treats as durable serving capacity: anything not warned of revocation
+// and not a still-pending reverse replacement (whose draining partner is
+// counted instead). In legacy mode every replica is one unit, so this is
+// the old replica count.
+func (c *Controller) capacityUnits() int {
 	n := 0
 	for _, r := range c.replicas {
 		if r.doomed || r.replaces != nil {
 			continue
 		}
-		n++
+		n += r.units
 	}
 	return n
 }
 
-// spotInMarket counts in-flight spot replicas per market (pending or
+// spotInMarket sums in-flight spot capacity units per market (pending or
 // alive, including doomed ones — they still occupy the market).
 func (c *Controller) spotInMarket() map[market.ID]int {
 	out := map[market.ID]int{}
 	for _, r := range c.replicas {
 		if r.spot {
-			out[r.in.Market()]++
+			out[r.in.Market()] += r.units
 		}
 	}
 	return out
 }
 
+// allSizes is the size mask admitting every instance size; see sizeMask.
+const allSizes = -1
+
+// minSizeMask admits every size of at least min capacity units. Unit
+// counts are powers of two, so a size's mask bit is the size itself.
+func minSizeMask(min int) int { return ^(min - 1) }
+
 // candidates builds the strategy input: every configured market whose
 // current spot price the fleet's bid covers, sorted by market ID.
-func (c *Controller) candidates() []Candidate {
+// sizeMask bounds the candidate instance size: unit counts are powers of
+// two, so bit u of the mask admits u-unit markets (allSizes admits all —
+// always the case in legacy mode, where every market is one unit).
+func (c *Controller) candidates(sizeMask int) []Candidate {
 	now := c.eng.Now()
 	occ := c.spotInMarket()
 	cands := make([]Candidate, 0, len(c.markets))
-	for _, id := range c.markets {
+	for i, id := range c.markets {
+		u := c.mktUnits[i]
+		if u&sizeMask == 0 {
+			continue
+		}
 		spot := c.prov.SpotPrice(id)
 		if spot > c.bid(id) {
 			continue
@@ -312,66 +432,99 @@ func (c *Controller) candidates() []Candidate {
 			Mean:     dm.Mean(now),
 			Vol:      dm.Std(now),
 			Replicas: occ[id],
+			Units:    u,
+			InvUnits: c.mktInv[i],
 		})
 	}
 	return cands
 }
 
-// cheapestOnDemand returns the configured market with the lowest
-// on-demand price (ties broken by ID order).
-func (c *Controller) cheapestOnDemand() market.ID {
-	if c.odBestSet {
-		return c.odBest // on-demand prices never change
+// computeCheapestOnDemand scans the configured markets once at
+// construction for the lowest on-demand price (per capacity unit in
+// catalog mode; ties broken by ID order). In catalog mode, markets no
+// bigger than the anchor are preferred so an on-demand fallback for a
+// one-anchor deficit does not buy a many-unit box at full price; when
+// every market is bigger, the cheapest per-unit one wins.
+func (c *Controller) computeCheapestOnDemand() market.ID {
+	if c.cfg.Catalog == nil {
+		best := c.markets[0]
+		for _, id := range c.markets[1:] {
+			if c.prov.OnDemandPrice(id) < c.prov.OnDemandPrice(best) {
+				best = id
+			}
+		}
+		return best
 	}
-	best := c.markets[0]
-	for _, id := range c.markets[1:] {
-		if c.prov.OnDemandPrice(id) < c.prov.OnDemandPrice(best) {
-			best = id
+	bestIdx, bestAnyIdx := -1, -1
+	var bestPer, bestAnyPer float64
+	for i, id := range c.markets {
+		per := c.prov.OnDemandPrice(id) * c.mktInv[i]
+		if bestAnyIdx < 0 || per < bestAnyPer {
+			bestAnyIdx, bestAnyPer = i, per
+		}
+		if c.mktUnits[i] <= c.anchorUnits && (bestIdx < 0 || per < bestPer) {
+			bestIdx, bestPer = i, per
 		}
 	}
-	c.odBest, c.odBestSet = best, true
-	return best
+	if bestIdx < 0 {
+		bestIdx = bestAnyIdx
+	}
+	return c.markets[bestIdx]
 }
 
+// cheapestOnDemand returns the construction-time cheapest on-demand
+// market: on-demand prices never change and the catalog is fixed per
+// controller, so no rescans happen on the replacement/report hot path.
+func (c *Controller) cheapestOnDemand() market.ID { return c.odBest }
+
 // fastPick resolves the strategy's placement via the precomputed envelope
-// without building a candidate slice. ok=false means the fast path cannot
-// decide and the caller must run the full candidates+Pick scan.
+// without building a candidate slice. It returns the picked market and
+// its effective price (raw in legacy mode, per-unit in catalog mode).
+// ok=false means the fast path cannot decide and the caller must run the
+// full candidates+Pick scan. sizeMask mirrors the caller's candidate size
+// bound: an argmin outside it defers to the scan.
 //
 // Exactness: the envelope yields the FIRST market (in the controller's
 // sorted order — the same order candidates are built in) with the strictly
-// minimal spot price. If that market is feasible (price <= bid), it is in
-// the filtered candidate list and every earlier candidate prices strictly
-// higher, so LowestPrice.Pick returns exactly it; Diversified.Pick does
-// too when it is under the per-market cap. An infeasible argmin (or one at
-// its cap) says nothing about the rest, hence the fallback.
-func (c *Controller) fastPick() (market.ID, float64, bool) {
+// minimal weighted spot price, and its weights are exactly the InvUnits
+// the candidates carry, so the weighted price equals Candidate.eff
+// bit-for-bit. If that market is feasible (raw price <= bid) and within
+// the size bounds, it is in the filtered candidate list and every earlier
+// candidate prices strictly higher, so LowestPrice.Pick returns exactly
+// it; Diversified.Pick does too when it is under the per-market cap. An
+// infeasible argmin (or one at its cap or outside the bounds) says
+// nothing about the rest, hence the fallback.
+func (c *Controller) fastPick(sizeMask int) (market.ID, float64, bool) {
 	if c.envCur == nil {
 		return market.ID{}, 0, false
 	}
-	id, price, _ := c.envCur.At(c.eng.Now())
+	id, price, weighted := c.envCur.At(c.eng.Now())
 	if price > c.bid(id) {
+		return market.ID{}, 0, false
+	}
+	if c.mktUnits[c.mktIdx[id]]&sizeMask == 0 {
 		return market.ID{}, 0, false
 	}
 	switch st := c.cfg.Strategy.(type) {
 	case LowestPrice:
-		return id, price, true
+		return id, weighted, true
 	case Diversified:
 		share := st.MaxShare
 		if share <= 0 || share > 1 {
 			share = DefaultMaxShare
 		}
-		limit := int(math.Ceil(share * float64(c.target)))
+		limit := int(math.Ceil(share * float64(c.targetUnits)))
 		if limit < 1 {
 			limit = 1
 		}
 		occ := 0
 		for _, r := range c.replicas {
 			if r.spot && r.in.Market() == id {
-				occ++
+				occ += r.units
 			}
 		}
 		if occ < limit {
-			return id, price, true
+			return id, weighted, true
 		}
 	}
 	return market.ID{}, 0, false
@@ -382,44 +535,126 @@ func (c *Controller) fastPick() (market.ID, float64, bool) {
 // acceptable (every one spiking above the bid) the replica falls back to
 // on-demand in the cheapest market.
 func (c *Controller) reconcile() {
-	for c.capacityCount() < c.target {
+	for c.capacityUnits() < c.targetUnits {
+		before := len(c.replicas)
 		c.launch(nil)
+		if len(c.replicas) == before {
+			return // no market grantable at all; next tick retries
+		}
 	}
-	if surplus := c.capacityCount() - c.target; surplus > 0 {
-		victims := c.surplusVictims(surplus)
-		for _, r := range victims {
+	if surplus := c.capacityUnits() - c.targetUnits; surplus > 0 {
+		// In mixed mode an overshooting consolidation launch creates
+		// surplus on purpose, but the replacement box takes minutes to
+		// boot: retiring live victims against pending capacity would break
+		// before making. Track alive durable units and defer any trim that
+		// would dip below target — onRunning reconciles again when the
+		// pending box boots and finishes the job.
+		aliveUnits := 0
+		if c.mixed {
+			for _, r := range c.replicas {
+				if r.doomed || r.replaces != nil || !r.in.Alive() {
+					continue
+				}
+				aliveUnits += r.units
+			}
+		}
+		for _, r := range c.surplusPool() {
+			if surplus <= 0 {
+				break
+			}
+			if r.units > surplus {
+				continue // retiring it would undershoot the target
+			}
+			if c.mixed && r.in.Alive() {
+				if aliveUnits-r.units < c.targetUnits {
+					continue // keep serving until the pending box boots
+				}
+				aliveUnits -= r.units
+			}
+			surplus -= r.units
 			c.scaleDowns++
 			c.retire(r)
 		}
 	}
 }
 
+// launchSizeMask returns the admissible instance sizes for a fresh
+// launch covering deficit units: a size fits if it is no bigger than the
+// deficit, or if the overshoot it causes would be fully reclaimed by the
+// surplus trim that reconcile runs right after the launch loop (greedy
+// over the victim pool in price order, skipping replicas bigger than the
+// remaining surplus — simulated here exactly). The second case is the
+// consolidation path: a cheap big box replaces several expensive small
+// ones within one reconcile pass, never stranding paid-for surplus.
+func (c *Controller) launchSizeMask(deficit int) int {
+	if !c.mixed {
+		return allSizes
+	}
+	mask := 0
+	var pool []*replica
+	for _, u := range c.mktUnits {
+		if u&mask != 0 {
+			continue
+		}
+		if u <= deficit {
+			mask |= u
+			continue
+		}
+		if pool == nil {
+			pool = c.surplusPool()
+		}
+		s := u - deficit
+		for _, r := range pool {
+			if s == 0 {
+				break
+			}
+			if r.units <= s {
+				s -= r.units
+			}
+		}
+		if s == 0 {
+			mask |= u
+		}
+	}
+	return mask
+}
+
 // launch starts one replica. replaces, when non-nil, marks a reverse
-// replacement draining that on-demand replica.
+// replacement draining that on-demand replica (the replacement must be at
+// least as big, in capacity units, as what it drains). A fresh launch is
+// size-bounded by launchSizeMask so overshoot is only ever transient; if
+// every admissible-size market is spiking, the bound lifts — overshooting
+// with a big cheap spot box beats an on-demand fallback.
 func (c *Controller) launch(replaces *replica) {
-	id, _, havePick := c.fastPick()
-	if !havePick {
-		// Slow path: build the filtered candidate slice and ask the
-		// strategy (required for StabilityOptimized and whenever the
-		// envelope's global argmin is infeasible or capped).
-		if cands := c.candidates(); len(cands) > 0 {
-			id, havePick = c.cfg.Strategy.Pick(cands, c.target)
+	mask := allSizes
+	deficit := 0
+	if replaces != nil {
+		// At least the drained replica's size; bigger only when the trim
+		// can reclaim the overshoot (same consolidation rule as fresh
+		// launches, with the drained units as the hole being filled).
+		mask = minSizeMask(replaces.units) & c.launchSizeMask(replaces.units)
+	} else if c.mixed {
+		deficit = c.targetUnits - c.capacityUnits()
+		mask = c.launchSizeMask(deficit)
+	}
+	id, eff, havePick := c.pickEff(mask)
+	if !havePick && replaces == nil && mask != allSizes {
+		// Every admissible-size market is spiking: lift the size bound —
+		// overshooting with a big cheap spot box beats an on-demand
+		// fallback.
+		id, eff, havePick = c.pickEff(allSizes)
+	}
+	if havePick && replaces == nil && deficit > 0 {
+		if u := c.mktUnits[c.mktIdx[id]]; u > deficit {
+			id = c.gateConsolidation(id, eff, u, deficit)
 		}
 	}
 	if havePick {
-		r := &replica{spot: true, replaces: replaces}
-		in, err := c.prov.RequestSpot(id, c.bid(id), c.callbacks(r))
-		if err == nil {
-			r.in = in
-			if rec := c.eng.Recorder(); rec != nil {
-				class := "spot"
-				if replaces != nil {
-					class = "reverse"
-				}
-				r.span = rec.Begin(trace.KindLaunch, class, in.Market().String(), c.eng.Now())
-			}
-			c.launches++
-			c.replicas = append(c.replicas, r)
+		class := "spot"
+		if replaces != nil {
+			class = "reverse"
+		}
+		if c.requestSpot(id, replaces, class) {
 			return
 		}
 	}
@@ -428,10 +663,90 @@ func (c *Controller) launch(replaces *replica) {
 		return
 	}
 	// Fall back to a non-revocable on-demand replica.
+	c.requestOnDemand()
+}
+
+// pickEff picks a market under the size mask and returns it with its
+// effective (per-unit) price: the envelope fast path first, then the
+// full candidate slice (required for StabilityOptimized and whenever the
+// envelope's global argmin is infeasible, capped or mis-sized).
+func (c *Controller) pickEff(mask int) (market.ID, float64, bool) {
+	if id, eff, ok := c.fastPick(mask); ok {
+		return id, eff, true
+	}
+	cands := c.candidates(mask)
+	if len(cands) == 0 {
+		return market.ID{}, 0, false
+	}
+	id, ok := c.cfg.Strategy.Pick(cands, c.targetUnits)
+	if !ok {
+		return market.ID{}, 0, false
+	}
+	for _, cand := range cands {
+		if cand.ID == id {
+			return id, cand.eff(), true
+		}
+	}
+	return id, 0, true
+}
+
+// reclaimCost sums the current hourly price of the replicas the surplus
+// trim would greedily retire to reclaim overshoot units; exact reports
+// whether the pool covers the overshoot without undershooting.
+func (c *Controller) reclaimCost(overshoot int) (cost float64, exact bool) {
+	s := overshoot
+	for _, r := range c.surplusPool() {
+		if s == 0 {
+			break
+		}
+		if r.units <= s {
+			s -= r.units
+			cost += c.priceOf(r)
+		}
+	}
+	return cost, s == 0
+}
+
+// gateConsolidation decides whether an overshooting pick (a box bigger
+// than the deficit, admitted because the trim can reclaim the excess) is
+// actually worth the swap: the box must undercut keeping the would-be
+// victims and filling the deficit at the best right-sized rate, by the
+// reverse-hysteresis margin. Marginal consolidations otherwise pay a
+// whole make-before-break boot overlap for pocket change — and invite
+// the downsize path to churn the fleet right back overnight.
+func (c *Controller) gateConsolidation(id market.ID, eff float64, u, deficit int) market.ID {
+	smallMask := 0
+	for s := 1; s <= deficit; s <<= 1 {
+		smallMask |= s
+	}
+	altID, altEff, ok := c.pickEff(smallMask)
+	if !ok {
+		return id // no right-sized market grantable; overshoot anyway
+	}
+	reclaim, exact := c.reclaimCost(u - deficit)
+	if !exact {
+		return id
+	}
+	h := c.cfg.ReverseHysteresis
+	if h < 0 {
+		h = 0
+	}
+	if eff*float64(u) < (1-h)*(reclaim+altEff*float64(deficit)) {
+		return id // consolidation pays for itself
+	}
+	return altID
+}
+
+// requestOnDemand starts one replica in the cheapest on-demand market
+// and returns it (nil on provider rejection, unreachable in practice).
+func (c *Controller) requestOnDemand() *replica {
+	odID := c.cheapestOnDemand()
 	r := &replica{}
-	in, err := c.prov.RequestOnDemand(c.cheapestOnDemand(), c.callbacks(r))
+	i := c.mktIdx[odID]
+	r.units, r.invUnits = c.mktUnits[i], c.mktInv[i]
+	in, err := c.prov.RequestOnDemand(odID, c.callbacks(r))
 	if err != nil {
-		return // unreachable: markets were validated at construction
+		return nil // unreachable: markets were validated at construction
 	}
 	r.in = in
 	if rec := c.eng.Recorder(); rec != nil {
@@ -440,12 +755,43 @@ func (c *Controller) launch(replaces *replica) {
 	c.launches++
 	c.odFallbacks++
 	c.replicas = append(c.replicas, r)
+	return r
 }
 
-// surplusVictims picks n counted replicas to retire on scale-down:
-// on-demand first (they cost full price), then the most expensive spot,
-// newest first on ties.
-func (c *Controller) surplusVictims(n int) []*replica {
+// requestSpot starts one spot replica in market id, optionally draining
+// replaces once it boots. Returns false when the provider rejects the
+// request.
+func (c *Controller) requestSpot(id market.ID, replaces *replica, class string) bool {
+	r := &replica{spot: true, replaces: replaces}
+	i := c.mktIdx[id]
+	r.units, r.invUnits = c.mktUnits[i], c.mktInv[i]
+	in, err := c.prov.RequestSpot(id, c.bid(id), c.callbacks(r))
+	if err != nil {
+		return false
+	}
+	r.in = in
+	if rec := c.eng.Recorder(); rec != nil {
+		r.span = rec.Begin(trace.KindLaunch, class, in.Market().String(), c.eng.Now())
+	}
+	c.launches++
+	c.replicas = append(c.replicas, r)
+	return true
+}
+
+// priceOf returns a replica's current hourly price: the live spot price
+// for spot replicas, the fixed on-demand price otherwise.
+func (c *Controller) priceOf(r *replica) float64 {
+	if r.spot {
+		return c.prov.SpotPrice(r.in.Market())
+	}
+	return c.prov.OnDemandPrice(r.in.Market())
+}
+
+// surplusPool returns the counted replicas in scale-down victim order:
+// on-demand first (they cost full price), then the most expensive spot
+// per capacity unit, newest first on ties. reconcile pops greedily,
+// skipping replicas bigger than the remaining surplus.
+func (c *Controller) surplusPool() []*replica {
 	var pool []*replica
 	for _, r := range c.replicas {
 		if r.doomed || r.replaces != nil {
@@ -453,27 +799,18 @@ func (c *Controller) surplusVictims(n int) []*replica {
 		}
 		pool = append(pool, r)
 	}
-	price := func(r *replica) float64 {
-		if r.spot {
-			return c.prov.SpotPrice(r.in.Market())
-		}
-		return c.prov.OnDemandPrice(r.in.Market())
-	}
 	sort.SliceStable(pool, func(i, j int) bool {
 		a, b := pool[i], pool[j]
 		if a.spot != b.spot {
 			return !a.spot // on-demand first
 		}
-		pa, pb := price(a), price(b)
+		pa, pb := c.priceOf(a)*a.invUnits, c.priceOf(b)*b.invUnits
 		if pa != pb {
 			return pa > pb // most expensive first
 		}
 		return a.in.ID() > b.in.ID() // newest first
 	})
-	if n > len(pool) {
-		n = len(pool)
-	}
-	return pool[:n]
+	return pool
 }
 
 // retire terminates a replica the controller chose to drop, along with a
@@ -513,25 +850,27 @@ func (c *Controller) reverseReplace() {
 		if r.spot || r.draining || r.doomed || !r.in.Alive() {
 			continue
 		}
-		_, pickSpot, havePick := c.fastPick()
+		// The replacement must carry at least the drained replica's units,
+		// and prices compare per unit (raw in legacy mode — invUnits 1).
+		_, pickSpot, havePick := c.fastPick(minSizeMask(r.units))
 		if !havePick {
-			cands := c.candidates()
+			cands := c.candidates(minSizeMask(r.units))
 			if len(cands) == 0 {
 				return
 			}
-			id, ok := c.cfg.Strategy.Pick(cands, c.target)
+			id, ok := c.cfg.Strategy.Pick(cands, c.targetUnits)
 			if !ok {
 				return
 			}
 			for _, cand := range cands {
 				if cand.ID == id {
-					pickSpot = cand.Spot
+					pickSpot = cand.eff()
 					break
 				}
 			}
 		}
 		odPrice := c.prov.OnDemandPrice(r.in.Market())
-		if pickSpot >= (1-c.cfg.ReverseHysteresis)*odPrice {
+		if pickSpot >= (1-c.cfg.ReverseHysteresis)*odPrice*r.invUnits {
 			return // best spot offer not cheap enough yet
 		}
 		before := len(c.replicas)
@@ -540,6 +879,156 @@ func (c *Controller) reverseReplace() {
 			return // launch failed
 		}
 		r.draining = true
+		started++
+	}
+}
+
+// rebalance migrates the most overpriced spot replica onto a market that
+// currently undercuts it by at least the hysteresis margin, make-before-
+// break. Spot replicas otherwise ride their market's drift until revoked:
+// a fleet that is rarely revoked (big boxes bid high above small-market
+// spikes) never re-optimizes, and ends up paying more per unit-hour than
+// a churning single-type fleet whose revocations constantly force it back
+// to the cheapest market. Mixed-size mode only — the legacy controller
+// keeps the paper's migrate-on-revocation-only behavior.
+func (c *Controller) rebalance() {
+	if !c.mixed || c.cfg.RebalanceHysteresis < 0 {
+		return
+	}
+	for started := 0; started < c.cfg.MaxReversePerTick; started++ {
+		// Same-size moves only: a bigger replacement would manufacture
+		// surplus for downsize to shave (and a smaller one a hole),
+		// churning the fleet through boot overlaps. Size changes stay the
+		// business of the consolidation gate and downsize.
+		var victim *replica
+		var victimID market.ID
+		var victimGap float64 // per-unit price gap to the best replacement
+		for _, r := range c.replicas {
+			if !r.spot || r.draining || r.doomed || r.replaces != nil || !r.in.Alive() {
+				continue
+			}
+			cur := c.priceOf(r) * r.invUnits
+			id, eff, ok := c.pickEff(r.units)
+			if !ok || eff >= (1-c.cfg.RebalanceHysteresis)*cur {
+				continue
+			}
+			gap := cur - eff
+			if victim == nil || gap > victimGap || (gap == victimGap && r.in.ID() > victim.in.ID()) {
+				victim, victimID, victimGap = r, id, gap
+			}
+		}
+		if victim == nil {
+			return
+		}
+		if !c.requestSpot(victimID, victim, "rebalance") {
+			return // provider rejected; retry next tick
+		}
+		victim.draining = true
+		victim.rebal = true
+	}
+}
+
+// downsize shrinks an oversized mixed fleet. Scale-down can leave a
+// surplus that trimming cannot reclaim because every remaining replica is
+// bigger than the surplus (a big box bought at the daytime peak, stranded
+// when the overnight target drops below its size). When that happens the
+// controller launches a smaller, currently cheaper replacement for the
+// most expensive such box and retires the box once the replacement boots
+// — the same make-before-break drain as reverse replacement, rate-limited
+// by the same knob. No-op in legacy mode, where every replica is one unit
+// and trimming alone tracks the target exactly.
+func (c *Controller) downsize() {
+	if !c.mixed || c.cfg.ReverseHysteresis < 0 {
+		return
+	}
+	started := 0
+	for started < c.cfg.MaxReversePerTick {
+		// Only alive surplus counts: overshoot explained by a pending
+		// consolidation box is transient — the deferred trim reclaims it
+		// when the box boots — and must not trigger a drain of its own.
+		surplus := -c.targetUnits
+		for _, r := range c.replicas {
+			if r.doomed || r.replaces != nil || !r.in.Alive() {
+				continue
+			}
+			surplus += r.units
+		}
+		if surplus <= 0 {
+			return
+		}
+		var victim *replica
+		var victimPer float64
+		for _, r := range c.replicas {
+			if r.doomed || r.replaces != nil || r.draining || !r.in.Alive() || r.units <= surplus {
+				continue
+			}
+			per := c.priceOf(r) * r.invUnits
+			if victim == nil || per > victimPer || (per == victimPer && r.in.ID() > victim.in.ID()) {
+				victim, victimPer = r, per
+			}
+		}
+		if victim == nil {
+			return
+		}
+		// The victim's kept capacity, decomposed into power-of-two pieces
+		// (needed < victim.units, so every piece is strictly smaller). A
+		// one-unit surplus on a 4-box drains onto a {2,1} pair; no single
+		// size could. Pick a market for every piece before launching any,
+		// so the hysteresis test sees the full replacement bill.
+		needed := victim.units - surplus
+		var pieces []market.ID
+		var total float64
+		feasible := true
+		for s := 1; s <= needed; s <<= 1 {
+			if needed&s == 0 {
+				continue
+			}
+			cands := c.candidates(s)
+			if len(cands) == 0 {
+				feasible = false
+				break
+			}
+			id, ok := c.cfg.Strategy.Pick(cands, c.targetUnits)
+			if !ok {
+				feasible = false
+				break
+			}
+			for _, cand := range cands {
+				if cand.ID == id {
+					total += cand.Spot
+					break
+				}
+			}
+			pieces = append(pieces, id)
+		}
+		if !feasible {
+			return
+		}
+		// Only worth it when the replacement set undercuts the whole big
+		// box by the hysteresis margin — in dollars, not per unit: the
+		// point is to stop paying for stranded units.
+		if total >= (1-c.cfg.ReverseHysteresis)*c.priceOf(victim) {
+			return
+		}
+		launched := 0
+		for _, id := range pieces {
+			if !c.requestSpot(id, victim, "downsize") {
+				break
+			}
+			launched++
+		}
+		if launched < len(pieces) {
+			// Provider rejected a piece mid-set (practically unreachable:
+			// candidates are bid-feasible). Detach what launched — the
+			// pieces become ordinary capacity and the trim reclaims them.
+			for _, r := range c.replicas {
+				if r.replaces == victim {
+					r.replaces = nil
+				}
+			}
+			return
+		}
+		victim.draining = true
 		started++
 	}
 }
@@ -557,17 +1046,50 @@ func (c *Controller) onRunning(r *replica) {
 	if rec := c.eng.Recorder(); rec != nil {
 		d := rec.End(r.span, c.eng.Now())
 		r.span = 0
-		if r.replaces != nil {
-			// Reverse replacement latency: request to promoted capacity.
-			rec.ObserveMigration("reverse", d)
+		if tgt := r.replaces; tgt != nil {
+			// Drain latency: request to promoted capacity.
+			switch {
+			case !tgt.spot:
+				rec.ObserveMigration("reverse", d)
+			case tgt.rebal:
+				rec.ObserveMigration("rebalance", d)
+			default:
+				rec.ObserveMigration("downsize", d)
+			}
 		}
 	}
-	if od := r.replaces; od != nil {
-		// The reverse replacement is up: retire the on-demand replica it
-		// was draining and promote the replacement to regular capacity.
-		r.replaces = nil
-		c.reverses++
-		c.terminate(od)
+	if tgt := r.replaces; tgt != nil {
+		// A downsize may drain one big box onto several smaller pieces;
+		// the box retires only when the LAST piece boots, so capacity
+		// never dips. Earlier pieces stay attached (excluded from the
+		// capacity count, which the still-alive box covers).
+		last := true
+		for _, other := range c.replicas {
+			if other != r && other.replaces == tgt && !other.in.Alive() {
+				last = false
+				break
+			}
+		}
+		if last {
+			// Retire the drained replica — an on-demand replica for
+			// reverse replacement, an oversized spot box for a downsize —
+			// and promote every piece to regular capacity.
+			for _, other := range c.replicas {
+				if other.replaces == tgt {
+					other.replaces = nil
+				}
+			}
+			r.replaces = nil
+			switch {
+			case !tgt.spot:
+				c.reverses++
+			case tgt.rebal:
+				c.rebalances++
+			default:
+				c.downsizes++
+			}
+			c.terminate(tgt)
+		}
 	}
 	c.reconcile() // trim surplus if the target dropped while booting
 }
@@ -581,6 +1103,28 @@ func (c *Controller) onWarning(r *replica) {
 	// The replica serves until the grace deadline, but its capacity is
 	// lost: replace it now. The spiking market prices itself out of the
 	// candidate list, so the replacement lands elsewhere (or on-demand).
+	//
+	// A doomed box bigger than the anchor gets an on-demand bridge first:
+	// spot startup exceeds the grace period, so a spot replacement for a
+	// big box would leave a many-unit hole, while on-demand boots inside
+	// the grace window. Each bridge is born draining — its spot successor
+	// launches in the same instant, and the bridge retires the moment the
+	// successor boots, so the on-demand premium is paid only for one spot
+	// boot time. One-unit losses keep the legacy spot-replacement path.
+	if c.mixed && r.spot && r.units > c.anchorUnits {
+		bridgeUnits := c.mktUnits[c.mktIdx[c.odBest]]
+		for covered := 0; covered < r.units; covered += bridgeUnits {
+			b := c.requestOnDemand()
+			if b == nil {
+				break
+			}
+			before := len(c.replicas)
+			c.launch(b)
+			if len(c.replicas) > before {
+				b.draining = true
+			}
+		}
+	}
 	c.reconcile()
 }
 
@@ -602,8 +1146,16 @@ func (c *Controller) onTerminated(r *replica, reason cloud.TerminationReason) {
 			r.span = 0
 		}
 		c.neverGranted++
-		if od := r.replaces; od != nil {
-			od.draining = false // drain aborted; the on-demand replica stays
+		if tgt := r.replaces; tgt != nil {
+			// Drain aborted; the drained replica stays. Detach any sibling
+			// pieces of a multi-piece downsize — they become ordinary
+			// capacity and the trim reclaims them once they boot.
+			tgt.draining = false
+			for _, other := range c.replicas {
+				if other.replaces == tgt {
+					other.replaces = nil
+				}
+			}
 		} else {
 			c.reconcile()
 		}
@@ -635,20 +1187,21 @@ func (c *Controller) advance(now sim.Time) {
 		if !r.in.Alive() {
 			continue
 		}
-		alive++
+		alive += r.units
+		ds := dt * float64(r.units)
 		u := c.marketSecs[r.in.Market()]
 		if r.spot {
-			c.spotSecs += dt
-			u.SpotSeconds += dt
+			c.spotSecs += ds
+			u.SpotSeconds += ds
 		} else {
-			c.odSecs += dt
-			u.OnDemandSeconds += dt
+			c.odSecs += ds
+			u.OnDemandSeconds += ds
 		}
 	}
-	c.targetSecs += float64(c.target) * dt
+	c.targetSecs += float64(c.targetUnits) * dt
 	served := alive
-	if served > c.target {
-		served = c.target
+	if served > c.targetUnits {
+		served = c.targetUnits
 	}
 	c.servedSecs += float64(served) * dt
 }
@@ -705,21 +1258,22 @@ func (c *Controller) Report() Report {
 			if !r.in.Alive() {
 				continue
 			}
-			alive++
+			alive += r.units
+			ds := dt * float64(r.units)
 			u := dm[r.in.Market()]
 			if r.spot {
-				dSpot += dt
-				u.SpotSeconds += dt
+				dSpot += ds
+				u.SpotSeconds += ds
 			} else {
-				dOD += dt
-				u.OnDemandSeconds += dt
+				dOD += ds
+				u.OnDemandSeconds += ds
 			}
 			dm[r.in.Market()] = u
 		}
-		dTarget = float64(c.target) * dt
+		dTarget = float64(c.targetUnits) * dt
 		served := alive
-		if served > c.target {
-			served = c.target
+		if served > c.targetUnits {
+			served = c.targetUnits
 		}
 		dServed = float64(served) * dt
 	}
@@ -736,6 +1290,8 @@ func (c *Controller) Report() Report {
 		SpotLaunches:         c.launches - c.odFallbacks,
 		OnDemandFallbacks:    c.odFallbacks,
 		ReverseReplacements:  c.reverses,
+		Downsizes:            c.downsizes,
+		Rebalances:           c.rebalances,
 		ReplicasLost:         c.lost,
 		NeverGranted:         c.neverGranted,
 		ScaleDowns:           c.scaleDowns,
@@ -743,8 +1299,9 @@ func (c *Controller) Report() Report {
 		MarketSeconds:        map[market.ID]MarketUsage{},
 	}
 	// All-on-demand baseline: serving the full target from the cheapest
-	// on-demand market, billed continuously.
-	odRate := c.prov.OnDemandPrice(c.cheapestOnDemand())
+	// on-demand market (per capacity unit in catalog mode), billed
+	// continuously.
+	odRate := c.prov.OnDemandPrice(c.odBest) * c.mktInv[c.mktIdx[c.odBest]]
 	rep.BaselineCost = rep.TargetReplicaSeconds / float64(sim.Hour) * odRate
 	for id, u := range c.marketSecs {
 		m := *u

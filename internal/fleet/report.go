@@ -53,9 +53,16 @@ type Report struct {
 	SpotLaunches        int
 	OnDemandFallbacks   int
 	ReverseReplacements int
-	ReplicasLost        int
-	NeverGranted        int
-	ScaleDowns          int
+	// Downsizes counts make-before-break swaps of an oversized spot box
+	// for a smaller one after a scale-down stranded its surplus units.
+	// Rebalances counts make-before-break migrations of a spot replica
+	// onto a market undercutting it by the hysteresis margin. Both are
+	// always zero without a mixed-size catalog.
+	Downsizes    int
+	Rebalances   int
+	ReplicasLost int
+	NeverGranted int
+	ScaleDowns   int
 
 	// LossEvents clusters revocations by termination instant, in time
 	// order. Occupancy is an hourly placement series; MarketSeconds the
@@ -183,7 +190,7 @@ func Average(reports []Report) Report {
 	}
 	n := float64(len(reports))
 	avg := Report{Strategy: reports[0].Strategy, Horizon: reports[0].Horizon}
-	var launches, spotLaunches, odFallbacks, reverses, lost, never, scaleDowns, peak float64
+	var launches, spotLaunches, odFallbacks, reverses, downsizes, rebalances, lost, never, scaleDowns, peak float64
 	for _, r := range reports {
 		avg.TargetReplicaSeconds += r.TargetReplicaSeconds / n
 		avg.ServedReplicaSeconds += r.ServedReplicaSeconds / n
@@ -195,6 +202,8 @@ func Average(reports []Report) Report {
 		spotLaunches += float64(r.SpotLaunches) / n
 		odFallbacks += float64(r.OnDemandFallbacks) / n
 		reverses += float64(r.ReverseReplacements) / n
+		downsizes += float64(r.Downsizes) / n
+		rebalances += float64(r.Rebalances) / n
 		lost += float64(r.ReplicasLost) / n
 		never += float64(r.NeverGranted) / n
 		scaleDowns += float64(r.ScaleDowns) / n
@@ -205,6 +214,8 @@ func Average(reports []Report) Report {
 	avg.SpotLaunches = round(spotLaunches)
 	avg.OnDemandFallbacks = round(odFallbacks)
 	avg.ReverseReplacements = round(reverses)
+	avg.Downsizes = round(downsizes)
+	avg.Rebalances = round(rebalances)
 	avg.ReplicasLost = round(lost)
 	avg.NeverGranted = round(never)
 	avg.ScaleDowns = round(scaleDowns)

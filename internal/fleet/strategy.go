@@ -20,10 +20,35 @@ type Candidate struct {
 	// controller.
 	Mean float64
 	Vol  float64
-	// Replicas counts the fleet's spot replicas already placed (alive or
-	// allocating) in this market.
+	// Replicas counts the fleet's spot capacity already placed (alive or
+	// allocating) in this market — replica count in legacy mode, capacity
+	// units in catalog mode.
 	Replicas int
+	// Units and InvUnits describe the market's instance size in capacity
+	// units (InvUnits = exactly 1/Units). Zero values — e.g. a Candidate
+	// built by hand without them — mean the legacy one-unit world, where
+	// effective prices are the raw ones.
+	Units    int
+	InvUnits float64
 }
+
+// eff returns the candidate's effective price: per capacity unit when the
+// candidate carries size information, raw otherwise. Spot*InvUnits is
+// bit-identical to Spot when InvUnits is 1, so legacy comparisons are
+// unchanged.
+func (c Candidate) eff() float64 {
+	if c.InvUnits > 0 {
+		return c.Spot * c.InvUnits
+	}
+	return c.Spot
+}
+
+// EffectivePrice is the exported view of the ranking key strategies
+// compare: the current spot price normalized per capacity unit (raw when
+// the candidate carries no size information). Custom Strategy
+// implementations should rank by it rather than Spot so mixed-size
+// catalogs compare fairly.
+func (c Candidate) EffectivePrice() float64 { return c.eff() }
 
 // Strategy chooses the spot market for the next replica. Implementations
 // must be deterministic pure functions of their inputs: the controller
@@ -34,7 +59,9 @@ type Strategy interface {
 	// Name labels the strategy in reports.
 	Name() string
 	// Pick selects a market from cands (sorted by ID, never empty) for a
-	// fleet whose current replica target is target.
+	// fleet whose current capacity target is target — a replica count in
+	// legacy mode, capacity units in catalog mode (the controller passes
+	// target x anchor units; Candidate.Replicas is measured the same way).
 	Pick(cands []Candidate, target int) (market.ID, bool)
 }
 
@@ -47,12 +74,12 @@ type LowestPrice struct{}
 // Name implements Strategy.
 func (LowestPrice) Name() string { return "lowest-price" }
 
-// Pick implements Strategy: cheapest current spot price, ties broken by
-// the candidates' ID order.
+// Pick implements Strategy: cheapest current effective (per-unit) spot
+// price, ties broken by the candidates' ID order.
 func (LowestPrice) Pick(cands []Candidate, _ int) (market.ID, bool) {
 	best := 0
 	for i := 1; i < len(cands); i++ {
-		if cands[i].Spot < cands[best].Spot {
+		if cands[i].eff() < cands[best].eff() {
 			best = i
 		}
 	}
@@ -92,7 +119,7 @@ func (d Diversified) Pick(cands []Candidate, target int) (market.ID, bool) {
 		if c.Replicas >= limit {
 			continue
 		}
-		if best < 0 || c.Spot < cands[best].Spot {
+		if best < 0 || c.eff() < cands[best].eff() {
 			best = i
 		}
 	}
@@ -105,7 +132,7 @@ func (d Diversified) Pick(cands []Candidate, target int) (market.ID, bool) {
 	best = 0
 	for i := 1; i < len(cands); i++ {
 		if cands[i].Replicas < cands[best].Replicas ||
-			(cands[i].Replicas == cands[best].Replicas && cands[i].Spot < cands[best].Spot) {
+			(cands[i].Replicas == cands[best].Replicas && cands[i].eff() < cands[best].eff()) {
 			best = i
 		}
 	}
@@ -145,7 +172,11 @@ func (s StabilityOptimized) Pick(cands []Candidate, _ int) (market.ID, bool) {
 }
 
 func score(c Candidate, lambda float64) float64 {
-	return c.Spot + lambda*c.Vol
+	m := c.InvUnits
+	if m == 0 {
+		m = 1
+	}
+	return (c.Spot + lambda*c.Vol) * m
 }
 
 // StrategyFor returns the named strategy with its default parameters:

@@ -295,3 +295,54 @@ func TestTenantQuota429(t *testing.T) {
 		t.Errorf("error %q does not mention quota", body)
 	}
 }
+
+// TestRegisterRejectsBadCatalog: a fleet registration with a malformed
+// instance catalog must fail fast at registration with a 400 — not be
+// accepted and then die inside its simulation shard.
+func TestRegisterRejectsBadCatalog(t *testing.T) {
+	_, srv := newTenantServer(t, Config{})
+	base := srv.URL + "/v1/tenants/acme/fleets"
+	cases := map[string]string{
+		"unknown anchor_type": `{"name": "f1", "days": 1,
+		  "fleet": {"catalog": "default", "anchor_type": "mega"}}`,
+		"unknown catalog": `{"name": "f2", "days": 1,
+		  "fleet": {"catalog": "exotic", "anchor_type": "small"}}`,
+		"anchor without catalog": `{"name": "f3", "days": 1,
+		  "fleet": {"anchor_type": "small"}}`,
+		"malformed entries": `{"name": "f4", "days": 1,
+		  "fleet": {"catalog": "custom", "anchor_type": "a",
+		    "catalog_entries": [{"name": "a", "vcpu": 1, "memory_gb": 1, "units": 3, "on_demand": 0.1}]}}`,
+	}
+	for label, body := range cases {
+		resp, out := post(t, base, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", label, resp.StatusCode, out)
+		}
+	}
+	// The tenant must be left with no registered fleets after the rejects.
+	resp, out := get(t, base)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(out, `"fleets":[]`) {
+		t.Errorf("list after rejects: status %d body %s", resp.StatusCode, out)
+	}
+
+	// Sanity: the same shape with a valid catalog is accepted.
+	resp, out = post(t, base, `{"name": "ok", "days": 1,
+	  "fleet": {"catalog": "default", "anchor_type": "small"}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("valid catalog register: status = %d, want 201 (%s)", resp.StatusCode, out)
+	}
+}
+
+// TestScenarioEndpointRejectsBadCatalog: the /v1/scenario document path
+// runs the same catalog validation.
+func TestScenarioEndpointRejectsBadCatalog(t *testing.T) {
+	_, srv := newTenantServer(t, Config{})
+	resp, body := post(t, srv.URL+"/v1/scenario",
+		`{"days": 1, "fleets": [{"name": "f", "catalog": "default", "anchor_type": "mega"}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "anchor") {
+		t.Errorf("error %q does not mention the anchor type", body)
+	}
+}

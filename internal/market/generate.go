@@ -213,7 +213,7 @@ func Generate(cfg Config) (*Set, error) {
 			traces = append(traces, tr)
 		}
 	}
-	return NewSet(traces, onDemand)
+	return NewSetTyped(traces, onDemand, cfg.Types)
 }
 
 // synthesize builds the piecewise-constant price series for one market

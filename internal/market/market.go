@@ -298,6 +298,7 @@ func (tr *Trace) Min() float64 {
 type Set struct {
 	traces   map[ID]*Trace
 	onDemand map[ID]float64
+	types    map[InstanceType]TypeSpec // typed view; nil for untyped sets
 	start    sim.Time
 	end      sim.Time
 
@@ -358,7 +359,22 @@ func (s *Set) Envelope(ids []ID, weights []float64) *Envelope {
 // cache-friendly slabs instead of two allocations per market. The input
 // traces are not modified.
 func NewSet(traces []*Trace, onDemand map[ID]float64) (*Set, error) {
+	return NewSetTyped(traces, onDemand, nil)
+}
+
+// NewSetTyped is NewSet with an attached instance-type table: the typed
+// source of truth for sets built from a catalog (Generate attaches its
+// config's types automatically). types may be nil for untyped sets
+// (replayed price files without size metadata); when present, every
+// trace's instance type must appear in it.
+func NewSetTyped(traces []*Trace, onDemand map[ID]float64, types []TypeSpec) (*Set, error) {
 	s := &Set{traces: map[ID]*Trace{}, onDemand: map[ID]float64{}}
+	if types != nil {
+		s.types = make(map[InstanceType]TypeSpec, len(types))
+		for _, ts := range types {
+			s.types[ts.Name] = ts
+		}
+	}
 	total := 0
 	for _, tr := range traces {
 		if _, dup := s.traces[tr.id]; dup {
@@ -367,6 +383,11 @@ func NewSet(traces []*Trace, onDemand map[ID]float64) (*Set, error) {
 		od, ok := onDemand[tr.id]
 		if !ok || od <= 0 {
 			return nil, fmt.Errorf("market: missing/invalid on-demand price for %s", tr.id)
+		}
+		if s.types != nil {
+			if _, ok := s.types[tr.id.Type]; !ok {
+				return nil, fmt.Errorf("market: trace %s has no type table entry for %q", tr.id, tr.id.Type)
+			}
 		}
 		s.traces[tr.id] = tr
 		s.onDemand[tr.id] = od
@@ -402,6 +423,13 @@ func (s *Set) Trace(id ID) *Trace { return s.traces[id] }
 // OnDemand returns the fixed on-demand price for the market's instance
 // type in its region, or 0 when unknown.
 func (s *Set) OnDemand(id ID) float64 { return s.onDemand[id] }
+
+// TypeSpec returns the set's size metadata for an instance type, with
+// ok=false for untyped sets (replayed files) or unknown types.
+func (s *Set) TypeSpec(t InstanceType) (TypeSpec, bool) {
+	ts, ok := s.types[t]
+	return ts, ok
+}
 
 // Horizon returns the common usable end time across all traces.
 func (s *Set) Horizon() sim.Time { return s.end }

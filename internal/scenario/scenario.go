@@ -25,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"spothost/internal/catalog"
 	"spothost/internal/cloud"
 	"spothost/internal/econ"
 	"spothost/internal/fleet"
@@ -87,6 +88,25 @@ type FleetDef struct {
 	BidMultiple       float64 `json:"bid_multiple"`
 	MaxReplicas       int     `json:"max_replicas"`
 	ReverseHysteresis float64 `json:"reverse_hysteresis"`
+
+	// Catalog turns on heterogeneous placement: "legacy" (the paper's four
+	// types) or "default" (the ten-type default catalog), or "custom" with
+	// CatalogEntries. AnchorType names the capacity anchor and is required
+	// with a catalog; every replica is a compatible type at least as
+	// powerful, and capacity is planned in the anchor's units.
+	Catalog        string            `json:"catalog"`
+	CatalogEntries []CatalogEntryDef `json:"catalog_entries"`
+	AnchorType     string            `json:"anchor_type"`
+}
+
+// CatalogEntryDef is one custom catalog row (see catalog.Entry): units
+// must be a power of two, vcpu >= 1, memory and on-demand price positive.
+type CatalogEntryDef struct {
+	Name     string  `json:"name"`
+	VCPU     int     `json:"vcpu"`
+	MemoryGB float64 `json:"memory_gb"`
+	Units    int     `json:"units"`
+	OnDemand float64 `json:"on_demand"`
 }
 
 // Scenario is the top-level document.
@@ -173,6 +193,71 @@ func (sc Scenario) Validate() error {
 	return nil
 }
 
+// resolveCatalog materializes the fleet's catalog configuration: nil for
+// a legacy single-type fleet, otherwise a validated catalog with a known
+// anchor. All malformed-catalog and unknown-type errors surface here, so
+// both scenario loading and the HTTP control plane reject them before any
+// simulation work happens.
+func (f FleetDef) resolveCatalog() (*catalog.Catalog, error) {
+	var cat *catalog.Catalog
+	var err error
+	if f.Catalog != "custom" && len(f.CatalogEntries) > 0 {
+		return nil, fmt.Errorf("catalog_entries requires catalog: \"custom\"")
+	}
+	switch f.Catalog {
+	case "":
+	case "legacy":
+		cat = catalog.Legacy()
+	case "default":
+		cat = catalog.Default()
+	case "custom":
+		if len(f.CatalogEntries) == 0 {
+			return nil, fmt.Errorf("catalog \"custom\" requires catalog_entries")
+		}
+		entries := make([]catalog.Entry, len(f.CatalogEntries))
+		for i, e := range f.CatalogEntries {
+			entries[i] = catalog.Entry{
+				Name:     market.InstanceType(e.Name),
+				VCPU:     e.VCPU,
+				MemoryGB: e.MemoryGB,
+				Units:    e.Units,
+				OnDemand: e.OnDemand,
+			}
+		}
+		if cat, err = catalog.New(entries); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown catalog %q (want legacy, default or custom)", f.Catalog)
+	}
+	if cat == nil {
+		if f.AnchorType != "" {
+			return nil, fmt.Errorf("anchor_type %q set without a catalog", f.AnchorType)
+		}
+		return nil, nil
+	}
+	if f.AnchorType == "" {
+		return nil, fmt.Errorf("catalog %q requires anchor_type", f.Catalog)
+	}
+	if _, ok := cat.Lookup(market.InstanceType(f.AnchorType)); !ok {
+		return nil, fmt.Errorf("unknown anchor_type %q", f.AnchorType)
+	}
+	return cat, nil
+}
+
+// TypeSpecs returns the market type universe this fleet needs generated:
+// the catalog's types in catalog mode, nil (caller default) otherwise.
+func (f FleetDef) TypeSpecs() ([]market.TypeSpec, error) {
+	cat, err := f.resolveCatalog()
+	if err != nil {
+		return nil, err
+	}
+	if cat == nil {
+		return nil, nil
+	}
+	return cat.TypeSpecs(), nil
+}
+
 // strategyName resolves the fleet's strategy name, defaulting to the
 // diversified allocation.
 func (f FleetDef) strategyName() string {
@@ -227,11 +312,52 @@ func parseMarkets(list []string) ([]market.ID, error) {
 	return out, nil
 }
 
+// typeSpecs merges the default type universe with every fleet catalog's
+// types, so catalog fleets find their markets in the generated set. It
+// returns nil when no fleet extends the default universe, keeping
+// catalog-free scenarios byte-identical to the pre-catalog generator.
+func (sc Scenario) typeSpecs() ([]market.TypeSpec, error) {
+	merged := market.DefaultTypes()
+	seen := make(map[market.InstanceType]market.TypeSpec, len(merged))
+	for _, ts := range merged {
+		seen[ts.Name] = ts
+	}
+	changed := false
+	for _, f := range sc.Fleets {
+		specs, err := f.TypeSpecs()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: fleet %q: %w", f.Name, err)
+		}
+		for _, ts := range specs {
+			if prev, ok := seen[ts.Name]; ok {
+				if prev != ts {
+					return nil, fmt.Errorf("scenario: instance type %q defined twice with different specs", ts.Name)
+				}
+				continue
+			}
+			seen[ts.Name] = ts
+			merged = append(merged, ts)
+			changed = true
+		}
+	}
+	if !changed {
+		return nil, nil
+	}
+	return merged, nil
+}
+
 // prices resolves the scenario's market set.
 func (sc Scenario) prices() (*market.Set, error) {
 	if sc.Traces == "" {
 		mcfg := market.DefaultConfig(sc.Seed)
 		mcfg.Horizon = sc.Days * sim.Day
+		types, err := sc.typeSpecs()
+		if err != nil {
+			return nil, err
+		}
+		if types != nil {
+			mcfg.Types = types
+		}
 		return market.Generate(mcfg)
 	}
 	f, err := os.Open(sc.Traces)
@@ -323,6 +449,9 @@ func (f FleetDef) Validate() error {
 	if f.TargetMs < 0 || f.TickMinutes < 0 || f.BidMultiple < 0 || f.MaxReplicas < 0 {
 		return fmt.Errorf("negative parameter")
 	}
+	if _, err := f.resolveCatalog(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -352,6 +481,10 @@ func (f FleetDef) config(horizon sim.Duration, seed int64) (fleet.Config, error)
 	if err != nil {
 		return fleet.Config{}, err
 	}
+	cat, err := f.resolveCatalog()
+	if err != nil {
+		return fleet.Config{}, err
+	}
 	cfg := fleet.Config{
 		Markets:           markets,
 		Strategy:          strat,
@@ -360,6 +493,8 @@ func (f FleetDef) config(horizon sim.Duration, seed int64) (fleet.Config, error)
 		BidMultiple:       f.BidMultiple,
 		MaxReplicas:       f.MaxReplicas,
 		ReverseHysteresis: f.ReverseHysteresis,
+		Catalog:           cat,
+		AnchorType:        market.InstanceType(f.AnchorType),
 	}
 	if f.TargetMs > 0 {
 		max := cfg.MaxReplicas

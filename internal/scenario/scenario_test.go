@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"spothost/internal/market"
 )
 
 const goodDoc = `{
@@ -253,5 +255,67 @@ func TestScenarioBadTraces(t *testing.T) {
 	sc.TracesFormat = "carrier-pigeon"
 	if _, err := sc.Run(); err == nil {
 		t.Fatal("unknown format ran")
+	}
+}
+
+// TestScenarioCatalogValidation: malformed catalog knobs are rejected at
+// Load time (which is what the HTTP layer turns into a 400), never at
+// run time.
+func TestScenarioCatalogValidation(t *testing.T) {
+	cases := map[string]string{
+		"unknown catalog": `{"days": 2, "fleets": [{"name":"f","catalog":"exotic","anchor_type":"small"}]}`,
+		"anchor sans catalog": `{"days": 2, "fleets": [{"name":"f","anchor_type":"small"}]}`,
+		"catalog sans anchor": `{"days": 2, "fleets": [{"name":"f","catalog":"default"}]}`,
+		"unknown anchor": `{"days": 2, "fleets": [{"name":"f","catalog":"default","anchor_type":"mega"}]}`,
+		"entries sans custom": `{"days": 2, "fleets": [{"name":"f","catalog":"default","anchor_type":"small",
+		  "catalog_entries":[{"name":"a","vcpu":1,"memory_gb":1,"units":1,"on_demand":0.1}]}]}`,
+		"custom sans entries": `{"days": 2, "fleets": [{"name":"f","catalog":"custom","anchor_type":"small"}]}`,
+		"non-power-of-two units": `{"days": 2, "fleets": [{"name":"f","catalog":"custom","anchor_type":"a",
+		  "catalog_entries":[{"name":"a","vcpu":1,"memory_gb":1,"units":3,"on_demand":0.1}]}]}`,
+		"negative price": `{"days": 2, "fleets": [{"name":"f","catalog":"custom","anchor_type":"a",
+		  "catalog_entries":[{"name":"a","vcpu":1,"memory_gb":1,"units":1,"on_demand":-0.1}]}]}`,
+	}
+	for label, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}
+
+const catalogFleetDoc = `{
+  "seed": 5,
+  "days": 2,
+  "fleets": [
+    {"name": "web", "strategy": "lowest-price",
+     "catalog": "default", "anchor_type": "small",
+     "base_load": 300, "peak_load": 900, "per_replica_load": 150}
+  ]
+}`
+
+// TestScenarioCatalogFleetRuns: a typed-catalog fleet declared in a
+// scenario document finds its markets — the generated universe is
+// widened with the catalog's types — and produces a billed report.
+func TestScenarioCatalogFleetRuns(t *testing.T) {
+	sc, err := Load(strings.NewReader(catalogFleetDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fleets) != 1 {
+		t.Fatalf("results: %d fleets", len(res.Fleets))
+	}
+	rep := res.Fleets[0].Report
+	if rep.Cost <= 0 {
+		t.Fatalf("catalog fleet cost = %v", rep.Cost)
+	}
+	types := map[market.InstanceType]bool{}
+	for id := range rep.MarketSeconds {
+		types[id.Type] = true
+	}
+	if len(types) < 2 {
+		t.Errorf("catalog fleet billed %d instance types, want >= 2", len(types))
 	}
 }
