@@ -43,3 +43,34 @@ func TestSteadyStateRunLoopAllocs(t *testing.T) {
 		t.Fatalf("steady-state run loop allocated %.2f per simulated day, want < 1", allocs)
 	}
 }
+
+// TestObsOffAllocs pins the telemetry layer's disabled-path contract:
+// with no obs recorder on the engine, the billing hooks (the hottest obs
+// call sites — they fire every simulated hour per instance) must add
+// zero steady-state allocations. Every hook site guards on the nil
+// recorder before building any argument, so this is the same bound as
+// TestSteadyStateRunLoopAllocs.
+func TestObsOffAllocs(t *testing.T) {
+	mcfg := market.DefaultConfig(1)
+	mcfg.Horizon = 40 * sim.Day
+	set, err := market.Generate(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	eng.SetObs(nil) // explicit: telemetry off
+	prov := cloud.NewProvider(eng, set, cloud.DefaultParams(1))
+	home := market.ID{Region: "us-east-1a", Type: "small"}
+	if _, err := prov.RequestOnDemand(home, cloud.Callbacks{}); err != nil {
+		t.Fatal(err)
+	}
+	horizon := sim.Time(30 * sim.Day)
+	eng.RunUntil(horizon)
+	allocs := testing.AllocsPerRun(5, func() {
+		horizon += sim.Day
+		eng.RunUntil(horizon)
+	})
+	if allocs >= 1 {
+		t.Fatalf("obs-off steady state allocated %.2f per simulated day, want < 1", allocs)
+	}
+}

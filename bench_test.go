@@ -24,6 +24,7 @@ import (
 	"spothost/internal/experiments"
 	"spothost/internal/fleet"
 	"spothost/internal/market"
+	"spothost/internal/obs"
 	"spothost/internal/scenario"
 	"spothost/internal/sched"
 	"spothost/internal/sim"
@@ -333,6 +334,44 @@ func BenchmarkFleetMonth(b *testing.B) {
 		lost += reps[0].ReplicasLost
 	}
 	b.ReportMetric(float64(lost)/float64(b.N), "replicas-lost/run")
+}
+
+// BenchmarkFleetMonthObs is BenchmarkFleetMonth with a telemetry recorder
+// attached: same 30-day diversified fleet, but every controller decision
+// lands in the ledger and every tick feeds the downsampled timelines. The
+// delta against BenchmarkFleetMonth is the whole observability overhead
+// budget (acceptance: within 5%).
+func BenchmarkFleetMonthObs(b *testing.B) {
+	demand, err := fleet.NewDiurnalDemand(fleet.DefaultDiurnalConfig(30*sim.Day, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fleet.Config{
+		Strategy: fleet.Diversified{},
+		Demand:   demand,
+		Planner:  fleet.LinearPlanner{PerReplica: 6},
+	}
+	mcfg := market.DefaultConfig(0)
+	cache := market.SharedCache()
+	var decisions int
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+		mc := mcfg
+		mc.Seed = seed
+		set, err := cache.Generate(mc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp := cloud.DefaultParams(0)
+		cp.Seed = seed
+		ob := obs.NewRecorder("bench", obs.Config{})
+		if _, err := fleet.RunObsCtx(context.Background(), set, cp, cfg,
+			30*sim.Day, nil, ob); err != nil {
+			b.Fatal(err)
+		}
+		decisions += len(ob.Ledger())
+	}
+	b.ReportMetric(float64(decisions)/float64(b.N), "decisions/run")
 }
 
 // BenchmarkRunSeedsParallel measures the multi-seed fan-out at one worker

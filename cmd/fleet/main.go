@@ -7,6 +7,11 @@
 //
 //	fleet [-quick] [-seeds 5] [-days 30] [-parallel 8] [-json] [-csv out.csv]
 //	      [-catalog default -anchor small]
+//	      [-trace run.json] [-obs -obs-out fleet]
+//
+// -trace and -obs compose: the former records wall-ordered spans and
+// histograms, the latter simulated-time timelines and the decision
+// ledger; either or both may be enabled on one run.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"spothost/internal/catalog"
 	"spothost/internal/experiments"
 	"spothost/internal/market"
+	"spothost/internal/obs"
 	"spothost/internal/runpool"
 	"spothost/internal/sim"
 	"spothost/internal/trace"
@@ -63,6 +69,8 @@ func main() {
 	traceFormat := flag.String("trace-format", "chrome", "trace export format: chrome (Perfetto trace_event JSON) | jsonl")
 	catalogF := flag.String("catalog", "", `instance catalog: "" (single-type legacy fleet), legacy, or default (ten heterogeneous types)`)
 	anchorF := flag.String("anchor", "small", "capacity anchor instance type; replicas must be at least this powerful (with -catalog)")
+	obsOn := flag.Bool("obs", false, "collect simulated-time telemetry (timelines, decision ledger, SLO alerts) for every cell")
+	obsOut := flag.String("obs-out", "fleet-obs", "output prefix for -obs: writes <prefix>-timeline.csv and <prefix>-ledger.ndjson")
 	flag.Parse()
 
 	opts := experiments.Defaults()
@@ -112,6 +120,11 @@ func main() {
 		col = trace.NewCollector()
 		opts.Trace = col
 	}
+	var ocol *obs.Collector
+	if *obsOn {
+		ocol = obs.NewCollector(obs.Config{})
+		opts.Obs = ocol
+	}
 
 	res, err := experiments.Fleet(opts)
 	if err != nil {
@@ -143,6 +156,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceF)
+	}
+	if ocol != nil {
+		if err := ocol.WriteFiles(*obsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s-timeline.csv and %s-ledger.ndjson\n", *obsOut, *obsOut)
 	}
 
 	if !*asJSON {

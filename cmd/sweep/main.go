@@ -39,6 +39,7 @@ import (
 	"spothost/internal/experiments"
 	"spothost/internal/market"
 	"spothost/internal/metrics"
+	"spothost/internal/obs"
 	"spothost/internal/runpool"
 	"spothost/internal/sched"
 	"spothost/internal/sim"
@@ -58,6 +59,8 @@ func main() {
 	experiment := flag.String("experiment", "", "run a registered experiment by name instead of a knob sweep")
 	traceF := flag.String("trace", "", "write a run trace of every simulation cell to this file")
 	traceFormat := flag.String("trace-format", "chrome", "trace export format: chrome (Perfetto trace_event JSON) | jsonl")
+	obsOn := flag.Bool("obs", false, "collect simulated-time telemetry for every fleet cell (-experiment mode); composes with -trace")
+	obsOut := flag.String("obs-out", "sweep-obs", "output prefix for -obs: writes <prefix>-timeline.csv and <prefix>-ledger.ndjson")
 	gridF := flag.String("grid", "", `multi-knob grid, e.g. "bid=1.5,2,3;tau=3,30" (cross product; uses the sweep engine)`)
 	warm := flag.Bool("warm-start", false, "share one pilot simulation across cells certified identical (grid mode)")
 	prune := flag.Bool("prune", false, "cut configs dominated on every seed so far (grid mode)")
@@ -68,11 +71,23 @@ func main() {
 	if *traceF != "" {
 		col = trace.NewCollector()
 	}
+	var ocol *obs.Collector
+	if *obsOn {
+		ocol = obs.NewCollector(obs.Config{})
+	}
 
 	if *experiment != "" {
-		runExperiment(*experiment, *seedsN, *days, *parallel, col)
+		runExperiment(*experiment, *seedsN, *days, *parallel, col, ocol)
 		writeTrace(col, *traceF, *traceFormat)
+		writeObs(ocol, *obsOut)
 		return
+	}
+	if ocol != nil {
+		// Knob and grid sweeps run scheduler cells, which have no fleet
+		// controller feeding the telemetry layer; only -experiment fleet
+		// cells record timelines.
+		fmt.Fprintln(os.Stderr, "-obs applies to -experiment runs only; ignoring")
+		ocol = nil
 	}
 
 	if *gridF != "" {
@@ -184,11 +199,22 @@ func writeTrace(col *trace.Collector, path, format string) {
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
+// writeObs exports the collected telemetry, if -obs was requested.
+func writeObs(ocol *obs.Collector, prefix string) {
+	if ocol == nil {
+		return
+	}
+	if err := ocol.WriteFiles(prefix); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s-timeline.csv and %s-ledger.ndjson\n", prefix, prefix)
+}
+
 // runExperiment executes one entry from the experiments registry — the
 // same single table behind cmd/paperbench and the HTTP API, so a newly
 // registered experiment is immediately sweepable — and prints its CSV
 // series when it exports one, its rendered table otherwise.
-func runExperiment(name string, seedsN int, days float64, parallel int, col *trace.Collector) {
+func runExperiment(name string, seedsN int, days float64, parallel int, col *trace.Collector, ocol *obs.Collector) {
 	entry, ok := experiments.Find(name)
 	if !ok {
 		var names []string
@@ -210,6 +236,7 @@ func runExperiment(name string, seedsN int, days float64, parallel int, col *tra
 	}
 	opts.Parallel = parallel
 	opts.Trace = col.Scope(name)
+	opts.Obs = ocol.Scope(name)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	opts.Context = ctx

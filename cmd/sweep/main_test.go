@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -129,5 +132,56 @@ func TestRunGridCSV(t *testing.T) {
 	// Grid parse errors surface instead of printing anything.
 	if err := runGrid(context.Background(), &out, gridOpts{Grid: "warp=1", Seeds: 1}); err == nil {
 		t.Fatal("runGrid accepted an unknown knob")
+	}
+}
+
+// TestExperimentTraceAndObsTogether: in -experiment mode, -trace and -obs
+// compose on one invocation — both export files appear, and the telemetry
+// prefix comes from -obs-out. Exec-level so the flag wiring itself is
+// under test.
+func TestExperimentTraceAndObsTogether(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "sweep")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.json")
+	obsPrefix := filepath.Join(dir, "run")
+
+	cmd := exec.Command(bin, "-experiment", "fleet", "-seeds", "1", "-days", "2",
+		"-trace", tracePath, "-obs", "-obs-out", obsPrefix)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("sweep -experiment fleet -trace -obs: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Errorf("trace file missing: %v", err)
+	}
+	cb, err := os.ReadFile(obsPrefix + "-timeline.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(cb), ",cost_dollars,") {
+		t.Fatalf("timeline CSV missing cost series:\n%.500s", cb)
+	}
+	lb, err := os.ReadFile(obsPrefix + "-ledger.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(lb), `"action":"spot"`) {
+		t.Fatalf("ledger has no spot decisions:\n%.500s", lb)
+	}
+
+	// Knob mode has no fleet cells: -obs is refused with a warning, not a
+	// silent empty export.
+	warn := exec.Command(bin, "-knob", "bid", "-values", "2", "-days", "1", "-seeds", "1", "-obs")
+	out, err := warn.CombinedOutput()
+	if err != nil {
+		t.Fatalf("knob sweep with -obs failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "-obs applies to -experiment runs only") {
+		t.Fatalf("missing -obs warning in knob mode:\n%s", out)
 	}
 }

@@ -296,6 +296,9 @@ func (p *Provider) chargeHour(in *Instance) {
 		At: now, Instance: in.id, Market: in.market,
 		Spot: in.lifecycle == Spot, Kind: ChargeHour, Amount: rate,
 	})
+	if o := p.eng.Obs(); o != nil {
+		o.Charge(float64(now), in.market.String(), string(in.market.Type), rate)
+	}
 	in.hourEvent = p.eng.After(sim.Hour, in.hourFn)
 }
 
@@ -339,6 +342,9 @@ func (p *Provider) refundPartialHour(in *Instance) {
 		At: now, Instance: in.id, Market: in.market,
 		Spot: true, Kind: ChargeRefund, Amount: -in.lastHourCost,
 	})
+	if o := p.eng.Obs(); o != nil {
+		o.Charge(float64(now), in.market.String(), string(in.market.Type), -in.lastHourCost)
+	}
 }
 
 // Terminate voluntarily releases an instance. A started hour remains

@@ -42,6 +42,7 @@ import (
 	"spothost/internal/fleet"
 	"spothost/internal/market"
 	"spothost/internal/metrics"
+	"spothost/internal/obs"
 	"spothost/internal/scenario"
 	"spothost/internal/sim"
 	"spothost/internal/trace"
@@ -88,6 +89,12 @@ type Config struct {
 	// the plane hands recorders back as runs finish, so memory stays
 	// bounded.
 	Trace *trace.Collector
+	// Obs, when non-nil, attaches a telemetry recorder to every fleet run
+	// under the same per-shard scope: timelines and decision ledgers are
+	// published per slice (GET .../timeline) and finished recorders are
+	// handed back for /metrics roll-up. Use obs.NewAggregateCollector for
+	// long-lived servers so memory stays bounded.
+	Obs *obs.Collector
 }
 
 func (cfg Config) withDefaults() Config {
@@ -127,6 +134,9 @@ var (
 	ErrNotFound = errors.New("controlplane: no such fleet")
 	// ErrClosed reports an operation on a closed plane.
 	ErrClosed = errors.New("controlplane: plane is closed")
+	// ErrNoObs rejects a timeline request on a plane running without a
+	// telemetry collector (Config.Obs nil).
+	ErrNoObs = errors.New("controlplane: telemetry is not enabled")
 )
 
 // CapacityError is an admission rejection: the tenant's quota or the
@@ -182,7 +192,8 @@ func New(cfg Config) *Plane {
 	}
 	p.shards = make([]*shard, cfg.Shards)
 	for i := range p.shards {
-		p.shards[i] = newShard(p, i, cfg.Trace.Scope(fmt.Sprintf("shard-%d", i)))
+		scope := fmt.Sprintf("shard-%d", i)
+		p.shards[i] = newShard(p, i, cfg.Trace.Scope(scope), cfg.Obs.Scope(scope))
 		p.wg.Add(1)
 		go p.shards[i].loop()
 	}
@@ -247,18 +258,20 @@ func (p *Plane) Register(tenant, name string, spec Spec) (Snapshot, error) {
 	}
 	if p.perTenant[tenant] >= p.cfg.TenantQuota {
 		p.rejected++
+		ra := p.retryAfter(sh) // before Unlock: reads the p.mu-guarded EWMA
 		p.mu.Unlock()
 		return Snapshot{}, &CapacityError{
 			Reason:            fmt.Sprintf("tenant %q at quota (%d fleets)", tenant, p.cfg.TenantQuota),
-			RetryAfterSeconds: p.retryAfter(sh),
+			RetryAfterSeconds: ra,
 		}
 	}
 	if len(p.runs) >= p.cfg.MaxFleets && !p.evictOneLocked() {
 		p.rejected++
+		ra := p.retryAfter(sh)
 		p.mu.Unlock()
 		return Snapshot{}, &CapacityError{
 			Reason:            fmt.Sprintf("plane at capacity (%d fleets, none finished)", p.cfg.MaxFleets),
-			RetryAfterSeconds: p.retryAfter(sh),
+			RetryAfterSeconds: ra,
 		}
 	}
 	r := newRun(tenant, name, spec, fcfg, horizon, sh)
@@ -349,6 +362,31 @@ func (p *Plane) List(tenant string) []Snapshot {
 	}
 	sortSnapshots(out)
 	return out
+}
+
+// Timeline returns the fleet's latest published telemetry timeline and a
+// copy of its decision-ledger NDJSON lines. Before the first slice
+// completes the timeline is empty except for the schema stamp. ErrNoObs
+// when the plane runs without telemetry; ErrNotFound for unknown fleets.
+func (p *Plane) Timeline(tenant, name string) (obs.Timeline, [][]byte, error) {
+	if p.cfg.Obs == nil {
+		return obs.Timeline{}, nil, ErrNoObs
+	}
+	p.mu.Lock()
+	r, ok := p.runs[key(tenant, name)]
+	p.mu.Unlock()
+	if !ok {
+		return obs.Timeline{}, nil, ErrNotFound
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tl := obs.Timeline{Schema: obs.TimelineSchema}
+	if r.tl != nil {
+		tl = *r.tl
+	}
+	ledger := make([][]byte, len(r.ledger))
+	copy(ledger, r.ledger)
+	return tl, ledger, nil
 }
 
 // Stream opens a cursor over the fleet's NDJSON record log: history first,
@@ -478,10 +516,10 @@ func buildSet(spec Spec) (*market.Set, error) {
 }
 
 // buildSim constructs the run's resumable simulation.
-func buildSim(spec Spec, fcfg fleet.Config, horizon sim.Duration, rec *trace.Recorder) (*fleet.Sim, error) {
+func buildSim(spec Spec, fcfg fleet.Config, horizon sim.Duration, rec *trace.Recorder, ob *obs.Recorder) (*fleet.Sim, error) {
 	set, err := buildSet(spec)
 	if err != nil {
 		return nil, err
 	}
-	return fleet.NewSim(set, cloud.DefaultParams(spec.Seed), fcfg, horizon, rec)
+	return fleet.NewSimObs(set, cloud.DefaultParams(spec.Seed), fcfg, horizon, rec, ob)
 }

@@ -10,6 +10,7 @@ import (
 
 	"spothost/internal/fleet"
 	"spothost/internal/metrics"
+	"spothost/internal/obs"
 	"spothost/internal/sim"
 	"spothost/internal/trace"
 )
@@ -67,9 +68,13 @@ type run struct {
 	horizon      sim.Duration
 	shard        *shard
 
-	// sim and rec are touched only by the shard goroutine.
-	sim *fleet.Sim
-	rec *trace.Recorder
+	// sim, rec and ob are touched only by the shard goroutine; ledgerN
+	// counts the ledger decisions already published to the mu-guarded
+	// state, so each slice marshals only the new tail.
+	sim     *fleet.Sim
+	rec     *trace.Recorder
+	ob      *obs.Recorder
+	ledgerN int
 
 	mu       sync.Mutex
 	state    State
@@ -78,6 +83,8 @@ type run struct {
 	steps    int
 	report   *fleet.Report
 	records  [][]byte // encoded NDJSON lines, newline-terminated
+	tl       *obs.Timeline
+	ledger   [][]byte // encoded ledger NDJSON lines, newline-terminated
 	lastDay  int
 	subs     int
 	removed  bool
@@ -151,7 +158,9 @@ func (r *run) snapshot() Snapshot {
 
 // publish stores the slice's report snapshot and, when a simulated day
 // completed (or the run ended), appends one NDJSON record to the log.
-func (r *run) publish(rep fleet.Report, now sim.Time, done bool) {
+// tl and ledger carry the slice's telemetry snapshot and newly marshaled
+// decision lines (both nil when the plane runs without telemetry).
+func (r *run) publish(rep fleet.Report, now sim.Time, done bool, tl *obs.Timeline, ledger [][]byte) {
 	day := int(math.Floor(now/sim.Day + 1e-9))
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -162,6 +171,10 @@ func (r *run) publish(rep fleet.Report, now sim.Time, done bool) {
 	r.steps++
 	r.state = StateRunning
 	r.report = &rep
+	if tl != nil {
+		r.tl = tl
+	}
+	r.ledger = append(r.ledger, ledger...)
 	if day > r.lastDay || done {
 		rec := StreamRecord{
 			Tenant:   r.tenant,
@@ -213,6 +226,7 @@ type shard struct {
 	plane *Plane
 	id    int
 	col   *trace.Collector
+	obs   *obs.Collector
 
 	mu       sync.Mutex
 	queue    []*run
@@ -222,8 +236,8 @@ type shard struct {
 	wake     chan struct{}
 }
 
-func newShard(p *Plane, id int, col *trace.Collector) *shard {
-	return &shard{plane: p, id: id, col: col, wake: make(chan struct{}, 1)}
+func newShard(p *Plane, id int, col *trace.Collector, oc *obs.Collector) *shard {
+	return &shard{plane: p, id: id, col: col, obs: oc, wake: make(chan struct{}, 1)}
 }
 
 func (sh *shard) assign() {
@@ -315,7 +329,10 @@ func (sh *shard) advance(r *run) {
 		if sh.col != nil {
 			r.rec = sh.col.Run(r.tenant + "/" + r.name)
 		}
-		s, err := buildSim(r.spec, r.fcfg, r.horizon, r.rec)
+		if sh.obs != nil {
+			r.ob = sh.obs.Run(r.tenant + "/" + r.name)
+		}
+		s, err := buildSim(r.spec, r.fcfg, r.horizon, r.rec, r.ob)
 		if err != nil {
 			sh.finish(r, err)
 			return
@@ -336,7 +353,22 @@ func (sh *shard) advance(r *run) {
 	sh.mu.Unlock()
 	sh.plane.observeStep(time.Since(start))
 
-	r.publish(r.sim.Report(), now, done)
+	var tl *obs.Timeline
+	var lines [][]byte
+	if r.ob != nil {
+		// Snapshot telemetry on the shard goroutine (which owns the sim)
+		// and hand copies to the mu-guarded published state.
+		t := r.sim.Timeline()
+		tl = &t
+		ds := r.ob.Ledger()
+		for _, d := range ds[r.ledgerN:] {
+			if b, err := d.AppendNDJSON(nil); err == nil {
+				lines = append(lines, b)
+			}
+		}
+		r.ledgerN = len(ds)
+	}
+	r.publish(r.sim.Report(), now, done, tl, lines)
 	if done {
 		sh.finish(r, nil)
 		return
@@ -359,6 +391,10 @@ func (sh *shard) finish(r *run, err error) {
 	if r.rec != nil {
 		sh.col.Done(r.rec)
 		r.rec = nil
+	}
+	if r.ob != nil {
+		sh.obs.Done(r.ob)
+		r.ob = nil
 	}
 	r.sim = nil // the heavy engine/provider state is no longer needed
 }

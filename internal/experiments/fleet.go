@@ -7,6 +7,7 @@ import (
 
 	"spothost/internal/fleet"
 	"spothost/internal/market"
+	"spothost/internal/obs"
 	"spothost/internal/runpool"
 	"spothost/internal/sim"
 	"spothost/internal/tpcw"
@@ -144,9 +145,14 @@ func Fleet(opts Options) (FleetResult, error) {
 		if opts.Trace != nil {
 			rec = opts.Trace.Run(fmt.Sprintf("%s/seed%d", strategies[i/ns].Name(), seed))
 		}
-		rep, err := fleet.RunTracedCtx(ctx, set, cp, cfg, opts.Horizon, rec)
+		var ob *obs.Recorder
+		if opts.Obs != nil {
+			ob = opts.Obs.Run(fmt.Sprintf("%s/seed%d", strategies[i/ns].Name(), seed))
+		}
+		rep, err := fleet.RunObsCtx(ctx, set, cp, cfg, opts.Horizon, rec, ob)
 		if err == nil {
 			opts.Trace.Done(rec)
+			opts.Obs.Done(ob)
 		}
 		return rep, err
 	})

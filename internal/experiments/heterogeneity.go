@@ -7,6 +7,7 @@ import (
 	"spothost/internal/catalog"
 	"spothost/internal/fleet"
 	"spothost/internal/market"
+	"spothost/internal/obs"
 	"spothost/internal/runpool"
 )
 
@@ -92,13 +93,23 @@ func Heterogeneity(opts Options) (HeterogeneityResult, error) {
 			BidMultiple: fleetBidMultiple,
 			MaxReplicas: fleetMaxReplicas,
 		}
+		arm := "single"
 		if typed {
 			cfg.Catalog = cat
 			cfg.AnchorType = heterogeneityAnchor
+			arm = "typed"
 		} else {
 			cfg.Markets = singleMarkets
 		}
-		return fleet.RunCtx(ctx, set, cp, cfg, opts.Horizon)
+		var ob *obs.Recorder
+		if opts.Obs != nil {
+			ob = opts.Obs.Run(fmt.Sprintf("%s/%s/seed%d", arm, strategies[j/ns].Name(), seed))
+		}
+		rep, err := fleet.RunObsCtx(ctx, set, cp, cfg, opts.Horizon, nil, ob)
+		if err == nil {
+			opts.Obs.Done(ob)
+		}
+		return rep, err
 	})
 	if err != nil {
 		return res, err

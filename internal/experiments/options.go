@@ -13,6 +13,7 @@ import (
 	"spothost/internal/catalog"
 	"spothost/internal/cloud"
 	"spothost/internal/market"
+	"spothost/internal/obs"
 	"spothost/internal/sim"
 	"spothost/internal/trace"
 	"spothost/internal/vm"
@@ -51,6 +52,12 @@ type Options struct {
 	// seed) coordinates, so exports are deterministic at any Parallel
 	// setting. Nil (the default) traces nothing at no cost.
 	Trace *trace.Collector
+	// Obs, when set, collects simulated-time telemetry: every fleet
+	// simulation cell records capacity/cost timelines and its decision
+	// ledger into a recorder labeled by its (config, seed) coordinates,
+	// exported deterministically at any Parallel setting. Nil (the
+	// default) records nothing at no cost.
+	Obs *obs.Collector
 	// Catalog, when set, runs fleet experiments over the heterogeneous
 	// instance catalog: the generated universe is widened to the
 	// catalog's types and replicas may be any type at least as powerful

@@ -18,23 +18,24 @@ import (
 	"spothost/internal/cloud"
 	"spothost/internal/forecast"
 	"spothost/internal/market"
+	"spothost/internal/obs"
 	"spothost/internal/sim"
 	"spothost/internal/trace"
 )
 
 // Defaults for Config fields left zero.
 const (
-	DefaultTick               = 5 * sim.Minute
-	DefaultBidMultiple        = 1.5
-	DefaultMaxReplicas        = 64
-	DefaultReverseHysteresis  = 0.15
+	DefaultTick              = 5 * sim.Minute
+	DefaultBidMultiple       = 1.5
+	DefaultMaxReplicas       = 64
+	DefaultReverseHysteresis = 0.15
 	// DefaultRebalanceHysteresis is deliberately much stiffer than the
 	// reverse margin: a spot-to-spot move pays a full boot overlap, and a
 	// market that undercuts by less rarely stays cheap long enough to
 	// recoup it.
 	DefaultRebalanceHysteresis = 0.45
 	DefaultMaxReversePerTick   = 1
-	DefaultVolatilityHalflife = 12 * sim.Hour
+	DefaultVolatilityHalflife  = 12 * sim.Hour
 )
 
 // Config parameterizes a fleet controller.
@@ -155,7 +156,7 @@ type Controller struct {
 	moments map[market.ID]*forecast.DecayingMoments
 
 	started  bool
-	target   int // anchor-replica target from the Planner, clamped
+	target   int        // anchor-replica target from the Planner, clamped
 	replicas []*replica // launch order == ascending instance ID
 
 	// Capacity-unit view of the fleet. In legacy mode (no catalog) every
@@ -202,6 +203,14 @@ type Controller struct {
 	lossAt     map[sim.Time]int
 	occupancy  []OccupancyPoint
 	lastSample sim.Time
+
+	// Decision-ledger scratch: the specialized launch paths (reverse,
+	// rebalance, downsize, consolidation) stash the hysteresis margin or
+	// note they cleared just before requesting capacity, and the request
+	// records and clears it. Only ever written when telemetry is attached,
+	// so the disabled path never touches these fields.
+	obsMargin float64
+	obsNote   string
 }
 
 // New validates the config and builds a controller over the provider.
@@ -646,7 +655,11 @@ func (c *Controller) launch(replaces *replica) {
 	}
 	if havePick && replaces == nil && deficit > 0 {
 		if u := c.mktUnits[c.mktIdx[id]]; u > deficit {
-			id = c.gateConsolidation(id, eff, u, deficit)
+			gated := c.gateConsolidation(id, eff, u, deficit)
+			if gated == id && c.eng.Obs() != nil {
+				c.obsNote = "consolidate"
+			}
+			id = gated
 		}
 	}
 	if havePick {
@@ -663,7 +676,7 @@ func (c *Controller) launch(replaces *replica) {
 		return
 	}
 	// Fall back to a non-revocable on-demand replica.
-	c.requestOnDemand()
+	c.requestOnDemand("on-demand")
 }
 
 // pickEff picks a market under the size mask and returns it with its
@@ -739,7 +752,9 @@ func (c *Controller) gateConsolidation(id market.ID, eff float64, u, deficit int
 
 // requestOnDemand starts one replica in the cheapest on-demand market
 // and returns it (nil on provider rejection, unreachable in practice).
-func (c *Controller) requestOnDemand() *replica {
+// class labels the request in the decision ledger ("on-demand" fallback
+// or "bridge").
+func (c *Controller) requestOnDemand(class string) *replica {
 	odID := c.cheapestOnDemand()
 	r := &replica{}
 	i := c.mktIdx[odID]
@@ -747,6 +762,9 @@ func (c *Controller) requestOnDemand() *replica {
 	in, err := c.prov.RequestOnDemand(odID, c.callbacks(r))
 	if err != nil {
 		return nil // unreachable: markets were validated at construction
+	}
+	if o := c.eng.Obs(); o != nil {
+		c.recordDecision(o, class, odID, i, c.prov.OnDemandPrice(odID), 0, "", nil)
 	}
 	r.in = in
 	if rec := c.eng.Recorder(); rec != nil {
@@ -765,9 +783,17 @@ func (c *Controller) requestSpot(id market.ID, replaces *replica, class string) 
 	r := &replica{spot: true, replaces: replaces}
 	i := c.mktIdx[id]
 	r.units, r.invUnits = c.mktUnits[i], c.mktInv[i]
+	o := c.eng.Obs()
+	margin, note := c.obsMargin, c.obsNote
+	if o != nil {
+		c.obsMargin, c.obsNote = 0, ""
+	}
 	in, err := c.prov.RequestSpot(id, c.bid(id), c.callbacks(r))
 	if err != nil {
 		return false
+	}
+	if o != nil {
+		c.recordDecision(o, class, id, i, c.prov.SpotPrice(id), margin, note, replaces)
 	}
 	r.in = in
 	if rec := c.eng.Recorder(); rec != nil {
@@ -873,6 +899,9 @@ func (c *Controller) reverseReplace() {
 		if pickSpot >= (1-c.cfg.ReverseHysteresis)*odPrice*r.invUnits {
 			return // best spot offer not cheap enough yet
 		}
+		if c.eng.Obs() != nil {
+			c.obsMargin = 1 - pickSpot/(odPrice*r.invUnits)
+		}
 		before := len(c.replicas)
 		c.launch(r)
 		if len(c.replicas) == before {
@@ -919,6 +948,9 @@ func (c *Controller) rebalance() {
 		}
 		if victim == nil {
 			return
+		}
+		if c.eng.Obs() != nil {
+			c.obsMargin = victimGap / (c.priceOf(victim) * victim.invUnits)
 		}
 		if !c.requestSpot(victimID, victim, "rebalance") {
 			return // provider rejected; retry next tick
@@ -1012,6 +1044,9 @@ func (c *Controller) downsize() {
 		}
 		launched := 0
 		for _, id := range pieces {
+			if c.eng.Obs() != nil {
+				c.obsMargin = 1 - total/c.priceOf(victim)
+			}
 			if !c.requestSpot(id, victim, "downsize") {
 				break
 			}
@@ -1085,6 +1120,9 @@ func (c *Controller) onRunning(r *replica) {
 				c.reverses++
 			case tgt.rebal:
 				c.rebalances++
+				if o := c.eng.Obs(); o != nil {
+					o.Count(float64(c.eng.Now()), obs.CountRebalance)
+				}
 			default:
 				c.downsizes++
 			}
@@ -1098,6 +1136,9 @@ func (c *Controller) onWarning(r *replica) {
 	c.advance(c.eng.Now())
 	if rec := c.eng.Recorder(); rec != nil {
 		rec.Instant(trace.KindWarning, "", r.in.Market().String(), c.eng.Now())
+	}
+	if o := c.eng.Obs(); o != nil {
+		o.Count(float64(c.eng.Now()), obs.CountInterruption)
 	}
 	r.doomed = true
 	// The replica serves until the grace deadline, but its capacity is
@@ -1114,7 +1155,7 @@ func (c *Controller) onWarning(r *replica) {
 	if c.mixed && r.spot && r.units > c.anchorUnits {
 		bridgeUnits := c.mktUnits[c.mktIdx[c.odBest]]
 		for covered := 0; covered < r.units; covered += bridgeUnits {
-			b := c.requestOnDemand()
+			b := c.requestOnDemand("bridge")
 			if b == nil {
 				break
 			}
@@ -1136,6 +1177,9 @@ func (c *Controller) onTerminated(r *replica, reason cloud.TerminationReason) {
 	case cloud.ReasonRevoked:
 		if rec := c.eng.Recorder(); rec != nil {
 			rec.Instant(trace.KindLoss, "", r.in.Market().String(), now)
+		}
+		if o := c.eng.Obs(); o != nil {
+			o.Count(float64(now), obs.CountLoss)
 		}
 		c.lost++
 		c.lossAt[now]++
@@ -1204,6 +1248,86 @@ func (c *Controller) advance(now sim.Time) {
 		served = c.targetUnits
 	}
 	c.servedSecs += float64(served) * dt
+	if o := c.eng.Obs(); o != nil {
+		// Same instant, same values as the accounting above, so the gauge
+		// integrals reproduce targetSecs/servedSecs exactly.
+		o.Capacity(float64(now), served, c.targetUnits)
+	}
+}
+
+// recordDecision appends one ledger entry for an accepted capacity
+// request, carrying the inputs that justified it. Reading prices and the
+// envelope cursor here is safe: both are pure at a fixed virtual time,
+// and the ledger never feeds back into placement, so obs-on runs stay
+// byte-identical to obs-off runs.
+func (c *Controller) recordDecision(o *obs.Recorder, action string, id market.ID,
+	idx int, price, margin float64, note string, replaces *replica) {
+
+	now := float64(c.eng.Now())
+	d := obs.Decision{
+		At:            now,
+		Action:        action,
+		Market:        id.String(),
+		Type:          string(id.Type),
+		Price:         price * c.mktInv[idx],
+		Units:         c.mktUnits[idx],
+		Rank:          idx,
+		Margin:        margin,
+		Note:          note,
+		TargetUnits:   c.targetUnits,
+		CapacityUnits: c.capacityUnits(),
+		QuotaUnits:    c.cfg.MaxReplicas * c.anchorUnits,
+	}
+	if action != "on-demand" && action != "bridge" {
+		d.Bid = c.bid(id)
+	}
+	if c.envCur != nil {
+		am, _, weighted := c.envCur.At(c.eng.Now())
+		d.ArgminMarket = am.String()
+		d.ArgminPrice = weighted
+	}
+	if replaces != nil && replaces.in != nil {
+		d.Replaces = replaces.in.Market().String()
+	}
+	o.Count(now, obs.CountLaunch)
+	o.Decide(d)
+}
+
+// obsServed returns the capacity serving at this instant — the same
+// min(alive, target) quantity advance integrates — for folding the open
+// telemetry tail.
+func (c *Controller) obsServed() int {
+	alive := 0
+	for _, r := range c.replicas {
+		if r.in.Alive() {
+			alive += r.units
+		}
+	}
+	if alive > c.targetUnits {
+		return c.targetUnits
+	}
+	return alive
+}
+
+// ObsTimeline snapshots the telemetry timeline as of the current virtual
+// time without mutating recorder or controller — the open accounting
+// tail is folded into a copy, mirroring Report's purity rules — so the
+// control plane can publish timelines mid-run at any cadence without
+// perturbing the final export. Returns the zero Timeline when telemetry
+// is off.
+func (c *Controller) ObsTimeline() obs.Timeline {
+	o := c.eng.Obs()
+	if o == nil {
+		return obs.Timeline{}
+	}
+	return o.Snapshot(float64(c.eng.Now()), c.obsServed(), c.targetUnits)
+}
+
+// finalizeObs commits the open telemetry tail at the horizon.
+func (c *Controller) finalizeObs(now sim.Time) {
+	if o := c.eng.Obs(); o != nil {
+		o.Finalize(float64(now), c.obsServed(), c.targetUnits)
+	}
 }
 
 // sampleOccupancy appends an occupancy snapshot at most once per hour.

@@ -6,6 +6,7 @@ import (
 
 	"spothost/internal/cloud"
 	"spothost/internal/market"
+	"spothost/internal/obs"
 	"spothost/internal/runpool"
 	"spothost/internal/sim"
 	"spothost/internal/trace"
@@ -34,8 +35,17 @@ func RunCtx(ctx context.Context, set *market.Set, cloudParams cloud.Params,
 // machinery in bounded slices instead.
 func RunTracedCtx(ctx context.Context, set *market.Set, cloudParams cloud.Params,
 	cfg Config, horizon sim.Duration, rec *trace.Recorder) (Report, error) {
+	return RunObsCtx(ctx, set, cloudParams, cfg, horizon, rec, nil)
+}
 
-	s, err := NewSim(set, cloudParams, cfg, horizon, rec)
+// RunObsCtx is RunTracedCtx with a telemetry recorder attached as well:
+// capacity/cost timelines, the decision ledger and SLO alerting record
+// into it (finalized at the horizon). Either recorder may be nil
+// independently at no cost.
+func RunObsCtx(ctx context.Context, set *market.Set, cloudParams cloud.Params,
+	cfg Config, horizon sim.Duration, rec *trace.Recorder, ob *obs.Recorder) (Report, error) {
+
+	s, err := NewSimObs(set, cloudParams, cfg, horizon, rec, ob)
 	if err != nil {
 		return Report{}, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"spothost/internal/cloud"
 	"spothost/internal/market"
+	"spothost/internal/obs"
 	"spothost/internal/sim"
 	"spothost/internal/trace"
 )
@@ -25,6 +26,7 @@ type Sim struct {
 	eng     *sim.Engine
 	ctrl    *Controller
 	rec     *trace.Recorder
+	ob      *obs.Recorder
 	horizon sim.Duration
 	seed    int64
 	done    bool
@@ -36,12 +38,22 @@ type Sim struct {
 // over-long horizon is clamped to the traces' extent, exactly as in Run.
 func NewSim(set *market.Set, cloudParams cloud.Params, cfg Config,
 	horizon sim.Duration, rec *trace.Recorder) (*Sim, error) {
+	return NewSimObs(set, cloudParams, cfg, horizon, rec, nil)
+}
+
+// NewSimObs is NewSim with a telemetry recorder attached to the run's
+// engine: the controller's capacity accounting, its decision ledger and
+// the provider's billing all record into it. A nil recorder is exactly
+// NewSim — the disabled path adds no allocations (TestObsOffAllocs).
+func NewSimObs(set *market.Set, cloudParams cloud.Params, cfg Config,
+	horizon sim.Duration, rec *trace.Recorder, ob *obs.Recorder) (*Sim, error) {
 
 	if horizon <= 0 || horizon > set.Horizon() {
 		horizon = set.Horizon()
 	}
 	eng := sim.NewEngine()
 	eng.SetRecorder(rec)
+	eng.SetObs(ob)
 	prov := cloud.NewProvider(eng, set, cloudParams)
 	c, err := New(prov, cfg)
 	if err != nil {
@@ -52,6 +64,7 @@ func NewSim(set *market.Set, cloudParams cloud.Params, cfg Config,
 		eng:     eng,
 		ctrl:    c,
 		rec:     rec,
+		ob:      ob,
 		horizon: horizon,
 		seed:    cloudParams.Seed,
 	}, nil
@@ -75,9 +88,19 @@ func (s *Sim) Step(ctx context.Context, until sim.Time) (bool, error) {
 	if until >= s.horizon {
 		s.done = true
 		s.rec.CloseOpen(s.eng.Now())
+		s.ctrl.finalizeObs(s.eng.Now())
 	}
 	return s.done, nil
 }
+
+// Obs returns the simulation's telemetry recorder, nil when telemetry is
+// off.
+func (s *Sim) Obs() *obs.Recorder { return s.ob }
+
+// Timeline snapshots the telemetry timeline as of the current virtual
+// time (see Controller.ObsTimeline); the zero Timeline when telemetry is
+// off.
+func (s *Sim) Timeline() obs.Timeline { return s.ctrl.ObsTimeline() }
 
 // Now returns the simulation's current virtual time.
 func (s *Sim) Now() sim.Time { return s.eng.Now() }

@@ -14,9 +14,10 @@
 //
 //	POST   /v1/tenants/{tenant}/fleets               register a fleet  {"name": ..., "seed": ..., "days": ..., "fleet": {...}}
 //	GET    /v1/tenants/{tenant}/fleets               list the tenant's fleets
-//	GET    /v1/tenants/{tenant}/fleets/{name}        snapshot one fleet's progress and report
-//	DELETE /v1/tenants/{tenant}/fleets/{name}        unregister
-//	GET    /v1/tenants/{tenant}/fleets/{name}/stream NDJSON: one report record per simulated day
+//	GET    /v1/tenants/{tenant}/fleets/{name}          snapshot one fleet's progress and report
+//	DELETE /v1/tenants/{tenant}/fleets/{name}          unregister
+//	GET    /v1/tenants/{tenant}/fleets/{name}/stream   NDJSON: one report record per simulated day
+//	GET    /v1/tenants/{tenant}/fleets/{name}/timeline telemetry timeline (JSON); ?ledger=1 streams the decision ledger (NDJSON)
 //
 // Responses are JSON; experiment responses carry both the rendered text
 // table and, where available, the CSV series.
@@ -47,6 +48,7 @@ import (
 	"spothost/internal/experiments"
 	"spothost/internal/market"
 	"spothost/internal/metrics"
+	"spothost/internal/obs"
 	"spothost/internal/scenario"
 	"spothost/internal/sim"
 	"spothost/internal/trace"
@@ -103,6 +105,11 @@ type Server struct {
 	// server executes; spans are discarded as runs finish, so memory stays
 	// bounded. Rendered into GET /metrics alongside the serving counters.
 	traces *trace.Collector
+	// obsCol aggregates simulation telemetry (decision/alert/cost totals)
+	// across control-plane fleet runs; recorders are folded into scalar
+	// totals as runs finish, so memory stays bounded. Per-fleet timelines
+	// are served from the control plane's published state instead.
+	obsCol *obs.Collector
 	// plane is the resident multi-tenant fleet runtime behind /v1/tenants.
 	plane *controlplane.Plane
 	mux   *http.ServeMux
@@ -125,6 +132,7 @@ func New(cfg Config) *Server {
 		logger: logger,
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
 		traces: trace.NewHistogramCollector(),
+		obsCol: obs.NewAggregateCollector(obs.Config{}),
 		runExperiment: func(ctx context.Context, entry experiments.Entry, opts experiments.Options) (experiments.Renderer, error) {
 			opts.Context = ctx
 			return entry.Run(opts)
@@ -136,6 +144,7 @@ func New(cfg Config) *Server {
 		TenantQuota: cfg.TenantQuota,
 		MaxDays:     MaxRequestDays,
 		Trace:       s.traces,
+		Obs:         s.obsCol,
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
@@ -321,6 +330,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.serving.Snapshot().WritePrometheus(w, "spotserve")
 	s.plane.Stats().WritePrometheus(w, "spotserve")
 	s.traces.WritePrometheus(w, "spotserve")
+	s.obsCol.WritePrometheus(w, "spotserve")
 	cs := market.SharedCache().Stats()
 	fmt.Fprintf(w, "# HELP spotserve_market_cache_hits_total Universe lookups served from cache.\n"+
 		"# TYPE spotserve_market_cache_hits_total counter\nspotserve_market_cache_hits_total %d\n", cs.Hits)

@@ -1,0 +1,130 @@
+package httpapi
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"spothost/internal/controlplane"
+	"spothost/internal/obs"
+)
+
+// waitDone polls the plane until the named fleet reaches its horizon.
+func waitDone(t *testing.T, s *Server, tenant, name string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, err := s.plane.Snapshot(tenant, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State == controlplane.StateDone {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("fleet %s/%s never finished", tenant, name)
+}
+
+// TestTimelineEndpoint: the server always runs with telemetry on, so a
+// finished fleet serves its downsampled timeline as JSON, its decision
+// ledger as NDJSON under ?ledger=1, and the aggregate obs totals appear
+// on /metrics.
+func TestTimelineEndpoint(t *testing.T) {
+	s, srv := newTenantServer(t, Config{Shards: 2})
+	base := srv.URL + "/v1/tenants/acme/fleets"
+
+	resp, body := post(t, base,
+		`{"name": "web", "seed": 7, "days": 2, "fleet": {"strategy": "diversified"}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status = %d (%s)", resp.StatusCode, body)
+	}
+	waitDone(t, s, "acme", "web")
+
+	resp, body = get(t, base+"/web/timeline")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline: status = %d (%s)", resp.StatusCode, body)
+	}
+	var tr TimelineResponse
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tenant != "acme" || tr.Name != "web" || tr.Schema != obs.TimelineSchema {
+		t.Errorf("timeline envelope = tenant %q name %q schema %d", tr.Tenant, tr.Name, tr.Schema)
+	}
+	if len(tr.Series) < 2 {
+		t.Fatalf("timeline has %d series, want at least cost and shortfall", len(tr.Series))
+	}
+	names := map[string]bool{}
+	for _, sd := range tr.Series {
+		names[sd.Name] = true
+	}
+	for _, want := range []string{"cost_dollars", "shortfall_units"} {
+		if !names[want] {
+			t.Errorf("timeline missing series %q (have %v)", want, names)
+		}
+	}
+	if tr.Decisions == 0 {
+		t.Error("timeline reports zero decisions for a fleet that launched instances")
+	}
+
+	// The ledger view streams one well-formed NDJSON record per decision.
+	lresp, err := http.Get(base + "/web/timeline?ledger=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	if ct := lresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("ledger Content-Type = %q", ct)
+	}
+	lines := 0
+	sc := bufio.NewScanner(lresp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var d obs.Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("bad ledger line %q: %v", sc.Text(), err)
+		}
+		if d.Schema != obs.LedgerSchema || d.Action == "" || d.Market == "" {
+			t.Fatalf("ledger record missing fields: %+v", d)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != tr.Decisions {
+		t.Errorf("ledger streamed %d lines, timeline counts %d decisions", lines, tr.Decisions)
+	}
+
+	// Aggregate obs gauges are merged into /metrics.
+	resp, body = get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"spotserve_obs_runs_total 1",
+		"spotserve_obs_decisions_total{",
+		"spotserve_obs_cost_dollars_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if resp, _ := get(t, base+"/nope/timeline"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("timeline for unknown fleet: status = %d, want 404", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPost, base+"/web/timeline", nil)
+	presp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST timeline: status = %d, want 405", presp.StatusCode)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"spothost/internal/controlplane"
+	"spothost/internal/obs"
 	"spothost/internal/scenario"
 )
 
@@ -73,6 +74,12 @@ func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleTenantStream(w, r, tenant, parts[2])
+	case len(parts) == 4 && parts[2] != "" && parts[3] == "timeline":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		s.handleTenantTimeline(w, r, tenant, parts[2])
 	default:
 		writeError(w, http.StatusNotFound, "unknown route; see /v1/tenants/{tenant}/fleets")
 	}
@@ -140,6 +147,37 @@ func (s *Server) handleTenantStream(w http.ResponseWriter, r *http.Request, tena
 	}
 }
 
+// TimelineResponse is the GET .../timeline body: the fleet's published
+// telemetry timeline (see internal/obs) stamped with its registry key.
+type TimelineResponse struct {
+	Tenant string `json:"tenant"`
+	Name   string `json:"name"`
+	obs.Timeline
+}
+
+// handleTenantTimeline serves the fleet's latest published telemetry
+// timeline as JSON; with ?ledger=1 it streams the decision ledger as
+// NDJSON instead. Both views are snapshots of the published state — they
+// never touch the shard goroutine's live simulation.
+func (s *Server) handleTenantTimeline(w http.ResponseWriter, r *http.Request, tenant, name string) {
+	tl, ledger, err := s.plane.Timeline(tenant, name)
+	if err != nil {
+		writePlaneError(w, err)
+		return
+	}
+	if r.URL.Query().Get("ledger") != "" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Cache-Control", "no-store")
+		for _, line := range ledger {
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, TimelineResponse{Tenant: tenant, Name: name, Timeline: tl})
+}
+
 // writePlaneError maps a control-plane error to a response: admission
 // rejections carry their computed Retry-After, conflicts and lookups map
 // to the usual codes, and anything else is a validation failure.
@@ -155,6 +193,8 @@ func writePlaneError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusNotFound, "%v", err)
 	case errors.Is(err, controlplane.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, controlplane.ErrNoObs):
+		writeError(w, http.StatusNotImplemented, "%v", err)
 	default:
 		writeError(w, http.StatusBadRequest, "%v", err)
 	}

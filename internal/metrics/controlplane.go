@@ -21,6 +21,15 @@ type ControlPlaneShard struct {
 	SimSeconds float64
 }
 
+// MaxTenantSeries caps the per-tenant gauge's label cardinality on
+// /metrics: the top MaxTenantSeries tenants by fleet count (ties broken
+// by name) keep their own series and the remainder folds into one
+// tenant="_other" series, so a many-tenant sweep cannot blow up the
+// scrape payload. Evicted and unregistered tenants drop out entirely —
+// the control plane deletes zero-count tenants from its registry rather
+// than exporting stale zero-valued series.
+const MaxTenantSeries = 64
+
 // ControlPlaneStats is a point-in-time snapshot of a control plane: the
 // long-lived multi-tenant fleet runtime behind the /v1/tenants API. The
 // control plane produces it; WritePrometheus renders it alongside the
@@ -80,10 +89,28 @@ func (st ControlPlaneStats) WritePrometheus(w io.Writer, prefix string) {
 		for t := range st.TenantFleets {
 			tenants = append(tenants, t)
 		}
+		other := 0
+		if len(tenants) > MaxTenantSeries {
+			// Keep the largest tenants; fold the tail into one series.
+			sort.Slice(tenants, func(i, j int) bool {
+				ci, cj := st.TenantFleets[tenants[i]], st.TenantFleets[tenants[j]]
+				if ci != cj {
+					return ci > cj
+				}
+				return tenants[i] < tenants[j]
+			})
+			for _, t := range tenants[MaxTenantSeries:] {
+				other += st.TenantFleets[t]
+			}
+			tenants = tenants[:MaxTenantSeries]
+		}
 		sort.Strings(tenants)
-		fmt.Fprintf(w, "# HELP %s_tenant_fleets Registered fleets by tenant.\n# TYPE %s_tenant_fleets gauge\n", p, p)
+		fmt.Fprintf(w, "# HELP %s_tenant_fleets Registered fleets by tenant (top %d; remainder folds into tenant=\"_other\").\n# TYPE %s_tenant_fleets gauge\n", p, MaxTenantSeries, p)
 		for _, t := range tenants {
 			fmt.Fprintf(w, "%s_tenant_fleets{tenant=%q} %d\n", p, t, st.TenantFleets[t])
+		}
+		if other > 0 {
+			fmt.Fprintf(w, "%s_tenant_fleets{tenant=\"_other\"} %d\n", p, other)
 		}
 	}
 	if len(st.Shards) == 0 {

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestTenantSeriesCardinalityCap: past MaxTenantSeries tenants, the
+// per-tenant gauge keeps only the largest tenants (ties broken by name)
+// and folds the tail into one tenant="_other" series, preserving the
+// total fleet count.
+func TestTenantSeriesCardinalityCap(t *testing.T) {
+	st := ControlPlaneStats{TenantFleets: map[string]int{}}
+	total := 0
+	// MaxTenantSeries+10 tenants: t000 has the most fleets, counts
+	// descend so the cut is deterministic.
+	n := MaxTenantSeries + 10
+	for i := 0; i < n; i++ {
+		c := n - i
+		st.TenantFleets[fmt.Sprintf("t%03d", i)] = c
+		total += c
+	}
+	var buf bytes.Buffer
+	st.WritePrometheus(&buf, "spotserve")
+	out := buf.String()
+
+	series := 0
+	sum := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "spotserve_cp_tenant_fleets{") {
+			continue
+		}
+		series++
+		var v int
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &v); err != nil {
+			t.Fatalf("bad series line %q: %v", line, err)
+		}
+		sum += v
+	}
+	if series != MaxTenantSeries+1 {
+		t.Fatalf("rendered %d tenant series, want %d kept + 1 _other", series, MaxTenantSeries)
+	}
+	if sum != total {
+		t.Fatalf("series sum %d != total fleets %d (folding must preserve the total)", sum, total)
+	}
+	if !strings.Contains(out, `spotserve_cp_tenant_fleets{tenant="_other"}`) {
+		t.Fatal("missing _other fold series")
+	}
+	// The biggest tenant survives; the smallest folds.
+	if !strings.Contains(out, `{tenant="t000"}`) {
+		t.Fatal("largest tenant was folded")
+	}
+	if strings.Contains(out, fmt.Sprintf(`{tenant="t%03d"}`, n-1)) {
+		t.Fatal("smallest tenant escaped the fold")
+	}
+}
+
+// TestTenantSeriesUnderCap: at or below the cap every tenant keeps its
+// own series, sorted by name, with no _other series.
+func TestTenantSeriesUnderCap(t *testing.T) {
+	st := ControlPlaneStats{TenantFleets: map[string]int{"b": 2, "a": 1}}
+	var buf bytes.Buffer
+	st.WritePrometheus(&buf, "spotserve")
+	out := buf.String()
+	ia := strings.Index(out, `{tenant="a"}`)
+	ib := strings.Index(out, `{tenant="b"}`)
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("tenants missing or unsorted:\n%s", out)
+	}
+	if strings.Contains(out, `{tenant="_other"}`) {
+		t.Fatalf("_other series rendered under the cap:\n%s", out)
+	}
+}

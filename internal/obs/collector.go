@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Collector aggregates per-run Recorders, mirroring trace.Collector:
+// Scope returns prefix-joined views over the same shared state, Run
+// mints a recorder (a nil collector mints nil recorders, so callers need
+// no branches), and Done merges a finished run back. Export orders runs
+// by label, so output is byte-identical no matter how many workers raced
+// the runs.
+type Collector struct {
+	shared *collectorShared
+	prefix string
+}
+
+type collectorShared struct {
+	mu       sync.Mutex
+	cfg      Config
+	keepRuns bool
+	runs     map[string]*Recorder
+
+	// Rolled-up totals for /metrics, kept even when runs are dropped.
+	done      int64
+	decisions map[string]int64
+	alerts    int64
+	cost      float64
+	shortfall float64 // unit-seconds
+}
+
+// NewCollector returns a collector that retains every finished recorder
+// for timeline/ledger export (CLI and experiment use).
+func NewCollector(cfg Config) *Collector {
+	return &Collector{shared: &collectorShared{
+		cfg:       cfg.withDefaults(),
+		keepRuns:  true,
+		runs:      map[string]*Recorder{},
+		decisions: map[string]int64{},
+	}}
+}
+
+// NewAggregateCollector returns a collector that folds finished runs
+// into scalar totals and drops the recorders — bounded memory for
+// long-lived servers that only export /metrics.
+func NewAggregateCollector(cfg Config) *Collector {
+	c := NewCollector(cfg)
+	c.shared.keepRuns = false
+	return c
+}
+
+// Scope returns a view whose run labels are prefixed with prefix + "/".
+func (c *Collector) Scope(prefix string) *Collector {
+	if c == nil {
+		return nil
+	}
+	p := prefix
+	if c.prefix != "" {
+		p = c.prefix + "/" + prefix
+	}
+	return &Collector{shared: c.shared, prefix: p}
+}
+
+// Run mints a recorder for one simulation run.
+func (c *Collector) Run(label string) *Recorder {
+	if c == nil {
+		return nil
+	}
+	if c.prefix != "" {
+		label = c.prefix + "/" + label
+	}
+	return NewRecorder(label, c.shared.cfg)
+}
+
+// Done hands a finished run's recorder back: its totals roll into the
+// collector aggregates and (in keep-runs mode) the recorder is retained
+// under its label, deduplicated with a "#n" suffix on collision.
+func (c *Collector) Done(rec *Recorder) {
+	if c == nil || rec == nil {
+		return
+	}
+	tl := rec.SnapshotFinal()
+	s := c.shared
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done++
+	for _, d := range rec.ledger {
+		s.decisions[d.Action]++
+	}
+	s.alerts += int64(len(tl.Alerts))
+	for _, sd := range tl.Series {
+		switch sd.Name {
+		case "cost_dollars":
+			s.cost += sd.Integral
+		case "shortfall_units":
+			s.shortfall += sd.Integral
+		}
+	}
+	if !s.keepRuns {
+		return
+	}
+	label := rec.label
+	if _, taken := s.runs[label]; taken {
+		for n := 2; ; n++ {
+			alt := fmt.Sprintf("%s#%d", label, n)
+			if _, taken := s.runs[alt]; !taken {
+				label = alt
+				break
+			}
+		}
+		rec.label = label
+	}
+	s.runs[label] = rec
+}
+
+// sortedRuns returns the retained recorders ordered by label; callers
+// hold s.mu.
+func (c *Collector) sortedRuns() []*Recorder {
+	s := c.shared
+	out := make([]*Recorder, 0, len(s.runs))
+	for _, r := range s.runs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
+// Timelines returns the finished runs' final timelines sorted by label.
+func (c *Collector) Timelines() []Timeline {
+	if c == nil {
+		return nil
+	}
+	c.shared.mu.Lock()
+	defer c.shared.mu.Unlock()
+	recs := c.sortedRuns()
+	out := make([]Timeline, len(recs))
+	for i, r := range recs {
+		out[i] = r.SnapshotFinal()
+	}
+	return out
+}
+
+// WriteTimelineCSV emits every retained run's timeline in long form,
+// header first, runs ordered by label.
+func (c *Collector) WriteTimelineCSV(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	if _, err := io.WriteString(w, TimelineCSVHeader); err != nil {
+		return err
+	}
+	for _, tl := range c.Timelines() {
+		if err := tl.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteLedgerNDJSON streams every retained run's decisions as NDJSON,
+// label-stamped, runs ordered by label.
+func (c *Collector) WriteLedgerNDJSON(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	c.shared.mu.Lock()
+	recs := c.sortedRuns()
+	c.shared.mu.Unlock()
+	var buf []byte
+	for _, r := range recs {
+		for _, d := range r.ledger {
+			d.Label = r.label
+			var err error
+			if buf, err = d.AppendNDJSON(buf[:0]); err != nil {
+				return err
+			}
+			if _, err = w.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFiles writes <prefix>-timeline.csv and <prefix>-ledger.ndjson,
+// the CLI export behind the -obs-out flag.
+func (c *Collector) WriteFiles(prefix string) error {
+	if c == nil {
+		return nil
+	}
+	tf, err := os.Create(prefix + "-timeline.csv")
+	if err != nil {
+		return err
+	}
+	if err := c.WriteTimelineCSV(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	lf, err := os.Create(prefix + "-ledger.ndjson")
+	if err != nil {
+		return err
+	}
+	if err := c.WriteLedgerNDJSON(lf); err != nil {
+		lf.Close()
+		return err
+	}
+	return lf.Close()
+}
+
+// WritePrometheus emits the rolled-up obs totals in Prometheus text
+// format under the metric prefix (merged into GET /metrics).
+func (c *Collector) WritePrometheus(w io.Writer, prefix string) {
+	if c == nil {
+		return
+	}
+	s := c.shared
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE %s_obs_runs_total counter\n%s_obs_runs_total %d\n", prefix, prefix, s.done)
+	actions := make([]string, 0, len(s.decisions))
+	for a := range s.decisions {
+		actions = append(actions, a)
+	}
+	sort.Strings(actions)
+	fmt.Fprintf(w, "# TYPE %s_obs_decisions_total counter\n", prefix)
+	for _, a := range actions {
+		fmt.Fprintf(w, "%s_obs_decisions_total{action=%q} %d\n", prefix, a, s.decisions[a])
+	}
+	fmt.Fprintf(w, "# TYPE %s_obs_slo_alerts_total counter\n%s_obs_slo_alerts_total %d\n", prefix, prefix, s.alerts)
+	fmt.Fprintf(w, "# TYPE %s_obs_cost_dollars_total counter\n%s_obs_cost_dollars_total %g\n", prefix, prefix, s.cost)
+	fmt.Fprintf(w, "# TYPE %s_obs_shortfall_unit_seconds_total counter\n%s_obs_shortfall_unit_seconds_total %g\n", prefix, prefix, s.shortfall)
+}

@@ -1,0 +1,190 @@
+package obs
+
+// SeriesKind distinguishes how bucket sums are interpreted.
+type SeriesKind uint8
+
+const (
+	// CounterSeries buckets sum event weights (dollars charged, launches).
+	CounterSeries SeriesKind = iota
+	// GaugeSeries buckets hold the time integral of a step function
+	// (capacity units x seconds); exported per-bucket values are
+	// time-weighted means.
+	GaugeSeries
+)
+
+func (k SeriesKind) String() string {
+	if k == GaugeSeries {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// bucket is one fixed-width window of simulated time: a running sum
+// (event weights for counters, value x seconds for gauges) and a sample
+// count.
+type bucket struct {
+	sum float64
+	n   int64
+}
+
+// Series is a fixed-memory series over simulated time. Buckets are
+// aligned at t=0 with a uniform width; while the observed horizon fits
+// the bucket budget the series is exact at that width, and when it
+// outgrows the budget adjacent bucket pairs merge (the width doubles).
+// Merging adds sums, so counter totals and gauge integrals are preserved
+// exactly, and the downsampled shape is a pure function of the
+// observation sequence — deterministic no matter when overflow happens.
+type Series struct {
+	name   string
+	kind   SeriesKind
+	budget int
+	width  float64
+	b      []bucket
+	lastT  float64 // gauges: end of the last credited interval
+}
+
+func newSeries(name string, kind SeriesKind, budget int, width float64) *Series {
+	return &Series{name: name, kind: kind, budget: budget, width: width}
+}
+
+// ensure compacts until the bucket covering t fits the budget and grows
+// the slice to include it, returning its index.
+func (s *Series) ensure(t float64) int {
+	if t < 0 {
+		t = 0
+	}
+	for int(t/s.width) >= s.budget {
+		s.compact()
+	}
+	i := int(t / s.width)
+	for len(s.b) <= i {
+		s.b = append(s.b, bucket{})
+	}
+	return i
+}
+
+// compact merges adjacent bucket pairs, halving resolution.
+func (s *Series) compact() {
+	half := (len(s.b) + 1) / 2
+	for i := 0; i < half; i++ {
+		m := s.b[2*i]
+		if 2*i+1 < len(s.b) {
+			m.sum += s.b[2*i+1].sum
+			m.n += s.b[2*i+1].n
+		}
+		s.b[i] = m
+	}
+	s.b = s.b[:half]
+	s.width *= 2
+}
+
+// add records a point sample (counter semantics).
+func (s *Series) add(t, v float64) {
+	i := s.ensure(t)
+	s.b[i].sum += v
+	s.b[i].n++
+}
+
+// until credits value v over the interval since the last credit (gauge
+// semantics): sum accumulates v x seconds per covered bucket. Calls with
+// non-advancing t are no-ops, mirroring the accounting they shadow.
+func (s *Series) until(t, v float64) {
+	if t <= s.lastT {
+		return
+	}
+	s.ensure(t)
+	lo := s.lastT
+	for lo < t {
+		i := int(lo / s.width)
+		hi := float64(i+1) * s.width
+		if hi > t {
+			hi = t
+		}
+		s.b[i].sum += v * (hi - lo)
+		s.b[i].n++
+		lo = hi
+	}
+	s.lastT = t
+}
+
+// clone returns an independent copy; snapshots fold open tails into
+// clones so the live series is never mutated by an export.
+func (s *Series) clone() *Series {
+	c := *s
+	c.b = append([]bucket(nil), s.b...)
+	return &c
+}
+
+// rangeIntegral integrates the series over [lo, hi], spreading each
+// bucket's sum uniformly over its covered span. now bounds the last
+// bucket's coverage (a partially filled tail bucket covers only up to
+// now, not its full width).
+func (s *Series) rangeIntegral(lo, hi, now float64) float64 {
+	if len(s.b) == 0 || hi <= lo {
+		return 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	i0 := int(lo / s.width)
+	i1 := int(hi / s.width)
+	if i1 >= len(s.b) {
+		i1 = len(s.b) - 1
+	}
+	total := 0.0
+	for i := i0; i <= i1; i++ {
+		b0 := float64(i) * s.width
+		covered := s.width
+		if c := now - b0; c < covered {
+			covered = c
+		}
+		if covered <= 0 {
+			break
+		}
+		o0, o1 := lo, hi
+		if b0 > o0 {
+			o0 = b0
+		}
+		if e := b0 + covered; e < o1 {
+			o1 = e
+		}
+		if o1 > o0 {
+			total += s.b[i].sum * (o1 - o0) / covered
+		}
+	}
+	return total
+}
+
+// SeriesData is one exported series: for counters Buckets holds
+// per-bucket sums and Integral their total; for gauges Buckets holds
+// time-weighted means and Integral the full time integral
+// (value x seconds).
+type SeriesData struct {
+	Name     string    `json:"name"`
+	Kind     string    `json:"kind"`
+	Width    float64   `json:"width_seconds"`
+	Buckets  []float64 `json:"buckets"`
+	Integral float64   `json:"integral"`
+}
+
+// data exports the series as of simulated time now.
+func (s *Series) data(now float64) SeriesData {
+	d := SeriesData{Name: s.name, Kind: s.kind.String(), Width: s.width, Buckets: make([]float64, len(s.b))}
+	for i := range s.b {
+		v := s.b[i].sum
+		d.Integral += v
+		if s.kind == GaugeSeries {
+			covered := s.width
+			if c := now - float64(i)*s.width; c < covered {
+				covered = c
+			}
+			if covered > 0 {
+				v /= covered
+			} else {
+				v = 0
+			}
+		}
+		d.Buckets[i] = v
+	}
+	return d
+}

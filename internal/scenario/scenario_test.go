@@ -263,10 +263,10 @@ func TestScenarioBadTraces(t *testing.T) {
 // run time.
 func TestScenarioCatalogValidation(t *testing.T) {
 	cases := map[string]string{
-		"unknown catalog": `{"days": 2, "fleets": [{"name":"f","catalog":"exotic","anchor_type":"small"}]}`,
+		"unknown catalog":     `{"days": 2, "fleets": [{"name":"f","catalog":"exotic","anchor_type":"small"}]}`,
 		"anchor sans catalog": `{"days": 2, "fleets": [{"name":"f","anchor_type":"small"}]}`,
 		"catalog sans anchor": `{"days": 2, "fleets": [{"name":"f","catalog":"default"}]}`,
-		"unknown anchor": `{"days": 2, "fleets": [{"name":"f","catalog":"default","anchor_type":"mega"}]}`,
+		"unknown anchor":      `{"days": 2, "fleets": [{"name":"f","catalog":"default","anchor_type":"mega"}]}`,
 		"entries sans custom": `{"days": 2, "fleets": [{"name":"f","catalog":"default","anchor_type":"small",
 		  "catalog_entries":[{"name":"a","vcpu":1,"memory_gb":1,"units":1,"on_demand":0.1}]}]}`,
 		"custom sans entries": `{"days": 2, "fleets": [{"name":"f","catalog":"custom","anchor_type":"small"}]}`,

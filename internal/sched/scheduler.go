@@ -8,6 +8,7 @@ import (
 	"spothost/internal/forecast"
 	"spothost/internal/market"
 	"spothost/internal/metrics"
+	"spothost/internal/obs"
 	"spothost/internal/sim"
 	"spothost/internal/trace"
 	"spothost/internal/vm"
@@ -53,18 +54,18 @@ type Scheduler struct {
 	forcedRestoreBegun bool
 	forcedDeadline     sim.Time
 
-	decisionEv     *sim.Event
-	decideFn       func()       // persistent s.decide closure for scheduling
-	pendingTimers  []*sim.Event // planned-migration timers, cancelable on abort
-	volatility     map[market.ID]*forecast.DecayingMoments
+	decisionEv    *sim.Event
+	decideFn      func()       // persistent s.decide closure for scheduling
+	pendingTimers []*sim.Event // planned-migration timers, cancelable on abort
+	volatility    map[market.ID]*forecast.DecayingMoments
 
 	// Hot-path caches: the precomputed cheapest-market envelope over the
 	// candidate set (nil under stability-aware bidding, whose volatility
 	// term is not precomputable) and the memoized cheapest on-demand
 	// market (on-demand prices are constants).
-	envCur    *market.EnvelopeCursor
-	odBest    market.ID
-	odBestSet bool
+	envCur         *market.EnvelopeCursor
+	odBest         market.ID
+	odBestSet      bool
 	ckptDaemon     *vm.CheckpointDaemon
 	ckptWrittenMB  float64
 	events         []Event
@@ -612,6 +613,9 @@ func (s *Scheduler) plannedTargetReady(g *serverGroup) {
 		r := s.tracer()
 		r.ObserveMigration(s.migClass, r.End(s.migSpan, s.eng.Now()))
 		s.migSpan = 0
+		if o := s.eng.Obs(); o != nil {
+			o.Count(float64(s.eng.Now()), obs.CountMigration)
+		}
 		old := s.group
 		s.group = g
 		s.target = nil
@@ -846,6 +850,9 @@ func (s *Scheduler) maybeRestore() {
 		s.traceUp()
 		r.ObserveMigration("forced", r.End(s.migSpan, s.eng.Now()))
 		s.migSpan = 0
+		if o := s.eng.Obs(); o != nil {
+			o.Count(float64(s.eng.Now()), obs.CountMigration)
+		}
 		s.group = g
 		s.target = nil
 		s.setPlacement(s.placementOf(g))

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"spothost/internal/obs"
 	"spothost/internal/trace"
 )
 
@@ -109,6 +110,10 @@ type Engine struct {
 	// read it via Recorder() so one plumbing point reaches every layer. A
 	// nil recorder no-ops every trace call.
 	rec *trace.Recorder
+	// ob, when non-nil, is the run's telemetry recorder (internal/obs).
+	// Same carrier pattern as rec: the engine only holds it, models read
+	// it via Obs() and guard on nil at each hook.
+	ob *obs.Recorder
 }
 
 // CancelPollInterval is the default number of executed events between
@@ -180,6 +185,15 @@ func (e *Engine) SetRecorder(r *trace.Recorder) { e.rec = r }
 // The nil recorder is a valid no-op receiver, so callers use the result
 // unconditionally.
 func (e *Engine) Recorder() *trace.Recorder { return e.rec }
+
+// SetObs attaches a telemetry recorder to the engine (nil detaches);
+// models read it back via Obs at each hook, exactly like SetRecorder.
+func (e *Engine) SetObs(o *obs.Recorder) { e.ob = o }
+
+// Obs returns the attached telemetry recorder, nil when telemetry is
+// off. Hooks guard on nil before building arguments, so the disabled
+// path costs nothing.
+func (e *Engine) Obs() *obs.Recorder { return e.ob }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }

@@ -56,8 +56,8 @@ type Spec struct {
 
 // Cell is one resolved (point, seed) simulation cell.
 type Cell struct {
-	Point   int       // index into Plan.Points
-	SeedIdx int       // index into Spec.Seeds
+	Point   int // index into Plan.Points
+	SeedIdx int // index into Spec.Seeds
 	Seed    int64
 	Values  []float64 // the point's knob values, in axis order
 	Report  metrics.Report

@@ -10,15 +10,15 @@
 #   BENCHTIME     iteration count/duration per benchmark (default 3x)
 #   CP_BENCHTIME  iteration count for the 10k-fleet control-plane benchmark
 #                 (default 1x: one iteration registers and completes 10k fleets)
-#   ISSUE         issue number recorded in the JSON (default 8)
+#   ISSUE         issue number recorded in the JSON (default 9)
 #   OUT           output path (default BENCH_${ISSUE}.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='BenchmarkSchedulerMonth$|BenchmarkFleetMonth$|BenchmarkFleetMonthCatalog$|BenchmarkFigure8MultiMarket$|BenchmarkFigure10PriceVariability$|BenchmarkTraceCursorWalk$|BenchmarkTracePriceAtWalk$|BenchmarkEnvelopeCursorWalk$|BenchmarkEnvelopeCursorWalk10x$|BenchmarkMarketScanWalk$|BenchmarkCorrelationClosedForm$|BenchmarkSweepGrid$|BenchmarkSweepGridCold$'
+BENCHES='BenchmarkSchedulerMonth$|BenchmarkFleetMonth$|BenchmarkFleetMonthObs$|BenchmarkFleetMonthCatalog$|BenchmarkFigure8MultiMarket$|BenchmarkFigure10PriceVariability$|BenchmarkTraceCursorWalk$|BenchmarkTracePriceAtWalk$|BenchmarkEnvelopeCursorWalk$|BenchmarkEnvelopeCursorWalk10x$|BenchmarkMarketScanWalk$|BenchmarkCorrelationClosedForm$|BenchmarkSweepGrid$|BenchmarkSweepGridCold$'
 BENCHTIME="${BENCHTIME:-3x}"
 CP_BENCHTIME="${CP_BENCHTIME:-1x}"
-ISSUE="${ISSUE:-8}"
+ISSUE="${ISSUE:-9}"
 OUT="${OUT:-BENCH_${ISSUE}.json}"
 
 RAW=$(go test -run NONE -bench "$BENCHES" -benchtime "$BENCHTIME" -benchmem .)
