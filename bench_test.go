@@ -641,6 +641,48 @@ func BenchmarkSweepGridCold(b *testing.B) {
 	b.ReportMetric(cps, "cells/s")
 }
 
+// sweepForkSpec is the fork benchmark grid: a dense checkpoint-bound
+// (tau) axis. No whole-horizon oracle can certify two tau cells equal, so
+// before forkable checkpoints every one of these cells ran cold. With
+// Fork on, each seed runs one checkpointing pilot per family and resumes
+// every sibling from the pilot's last quiescent checkpoint before its
+// first diverging forced warning — usually near the horizon, so siblings
+// simulate only a short tail.
+func sweepForkSpec() sweep.Spec {
+	var taus []float64
+	for v := 1.0; v <= 40; v++ {
+		taus = append(taus, v)
+	}
+	return sweep.Spec{
+		Axes:    []sweep.Axis{{Knob: sweep.KnobTau, Values: taus}},
+		Seeds:   []int64{1, 2, 3},
+		Home:    market.ID{Region: "us-east-1a", Type: "small"},
+		Horizon: 4 * sim.Day,
+		Market:  market.DefaultConfig(0),
+	}
+}
+
+// BenchmarkSweepGridFork resolves the tau grid with mid-horizon forking
+// on, reporting resolved cells per second. Compare against
+// BenchmarkSweepGridCold: forking must clear 5x the cold rate on this
+// previously-uncertifiable axis.
+func BenchmarkSweepGridFork(b *testing.B) {
+	var cps float64
+	for i := 0; i < b.N; i++ {
+		spec := sweepForkSpec()
+		spec.Fork = true
+		sum, err := sweep.Run(context.Background(), &spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Forked == 0 {
+			b.Fatal("fork benchmark resolved no cells by forking")
+		}
+		cps = sum.CellsPerSec()
+	}
+	b.ReportMetric(cps, "cells/s")
+}
+
 // BenchmarkFleetMonthCatalog is BenchmarkFleetMonth over the heterogeneous
 // instance catalog: the same month of diurnal demand, but the universe is
 // widened to the ten default catalog types (40 markets) and the controller

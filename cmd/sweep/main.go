@@ -11,10 +11,13 @@
 //
 // Multi-knob grids run through the internal/sweep engine: -grid takes a
 // semicolon-separated cross product of axes, and the engine can share
-// certified-identical cells (-warm-start) and cut dominated configurations
-// early (-prune), reporting progress in cells/sec (-progress):
+// certified-identical cells (-warm-start), resume sibling cells from a
+// pilot's mid-horizon checkpoint (-fork — the only reuse that works on a
+// tau axis), and cut dominated configurations early (-prune), reporting
+// progress in cells/sec (-progress):
 //
-//	sweep -grid "bid=1.5,2,2.5,3,4,6,8;tau=3,30" -warm-start -prune -progress
+//	sweep -grid "bid=1.5,2,2.5,3,4,6,8;tau=3,30" -warm-start -fork -prune -progress
+//	sweep -grid "tau=1,3,10,30,60" -fork -progress
 //
 // It can also run any registered experiment (the same table cmd/paperbench
 // and the HTTP API serve) and print its CSV series:
@@ -63,6 +66,7 @@ func main() {
 	obsOut := flag.String("obs-out", "sweep-obs", "output prefix for -obs: writes <prefix>-timeline.csv and <prefix>-ledger.ndjson")
 	gridF := flag.String("grid", "", `multi-knob grid, e.g. "bid=1.5,2,3;tau=3,30" (cross product; uses the sweep engine)`)
 	warm := flag.Bool("warm-start", false, "share one pilot simulation across cells certified identical (grid mode)")
+	fork := flag.Bool("fork", false, "resume sibling cells from the pilot's last checkpoint before their first divergence (grid mode)")
 	prune := flag.Bool("prune", false, "cut configs dominated on every seed so far (grid mode)")
 	progress := flag.Bool("progress", false, "report sweep progress in cells/sec on stderr (grid mode)")
 	flag.Parse()
@@ -102,6 +106,7 @@ func main() {
 			Fleet:     *fleet,
 			Parallel:  *parallel,
 			WarmStart: *warm,
+			Fork:      *fork,
 			Prune:     *prune,
 			Progress:  *progress,
 		})
@@ -297,15 +302,19 @@ type gridOpts struct {
 	Fleet        int
 	Parallel     int
 	WarmStart    bool
+	Fork         bool
 	Prune        bool
 	Progress     bool
 }
 
 // runGrid executes a multi-knob grid through the sweep engine and prints
 // one CSV row per grid point: the knob values, the mean metrics over the
-// seeds the point ran, and — so pruning is never silent — whether the
-// point was cut and which point dominated it. An aggregate cell-accounting
-// line always goes to stderr.
+// seeds the point ran, how its cells were resolved — so neither sharing,
+// forking, nor pruning is ever silent — the pilot point that fed any
+// reused cells, the mean fork-resume time in days (fork_at, blank when the
+// point never forked), and whether the point was cut and which point
+// dominated it. An aggregate cell-accounting line (cold / shared / forked
+// / pruned) always goes to stderr.
 func runGrid(ctx context.Context, w io.Writer, o gridOpts) error {
 	axes, err := sweep.ParseGrid(o.Grid)
 	if err != nil {
@@ -328,12 +337,13 @@ func runGrid(ctx context.Context, w io.Writer, o gridOpts) error {
 		Market:    mcfg,
 		Workers:   o.Parallel,
 		WarmStart: o.WarmStart,
+		Fork:      o.Fork,
 		Prune:     o.Prune,
 	}
 	if o.Progress {
 		spec.OnProgress = func(p sweep.Progress) {
-			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells (%.0f cells/s, %d simulated, %d shared, %d pruned)   ",
-				p.Done, p.Total, p.CellsPerSec(), p.Simulated, p.Shared, p.PrunedCells)
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells (%.0f cells/s, %d simulated, %d shared, %d forked, %d pruned)   ",
+				p.Done, p.Total, p.CellsPerSec(), p.Simulated, p.Shared, p.Forked, p.PrunedCells)
 		}
 	}
 	sum, err := sweep.Run(ctx, &spec)
@@ -347,23 +357,31 @@ func runGrid(ctx context.Context, w io.Writer, o gridOpts) error {
 	for _, ax := range axes {
 		fmt.Fprintf(w, "%s,", ax.Knob)
 	}
-	fmt.Fprintf(w, "normalized_cost,unavailability,forced_per_hr,voluntary_per_hr,migrations,seeds,pruned,dominated_by\n")
+	fmt.Fprintf(w, "normalized_cost,unavailability,forced_per_hr,voluntary_per_hr,migrations,seeds,pilot,fork_at,pruned,dominated_by\n")
 	for _, res := range sum.Results {
 		for _, v := range res.Values {
 			fmt.Fprintf(w, "%g,", v)
 		}
 		r := res.Mean
+		pilot := ""
+		if res.Pilot >= 0 && res.Pilot != res.Point {
+			pilot = fmt.Sprintf("%d", res.Pilot)
+		}
+		forkAt := ""
+		if res.ForkedSeeds > 0 {
+			forkAt = fmt.Sprintf("%.3f", res.MeanForkAt/sim.Day)
+		}
 		dom := ""
 		if res.Pruned {
 			dom = fmt.Sprintf("%d", res.DominatedBy)
 		}
-		fmt.Fprintf(w, "%.5f,%.7f,%.5f,%.5f,%d,%d,%v,%s\n",
+		fmt.Fprintf(w, "%.5f,%.7f,%.5f,%.5f,%d,%d,%s,%s,%v,%s\n",
 			r.NormalizedCost(), r.Unavailability(),
 			r.ForcedPerHour(), r.PlannedReversePerHour(), r.Migrations.Total(),
-			res.SeedsRun, res.Pruned, dom)
+			res.SeedsRun, pilot, forkAt, res.Pruned, dom)
 	}
-	fmt.Fprintf(os.Stderr, "sweep: %d cells = %d simulated + %d shared + %d pruned (%d configs cut) in %v (%.0f cells/s)\n",
-		sum.Cells, sum.Simulated, sum.Shared, sum.PrunedCells, sum.PrunedConfigs,
+	fmt.Fprintf(os.Stderr, "sweep: %d cells = %d simulated + %d shared + %d forked + %d pruned (%d configs cut) in %v (%.0f cells/s)\n",
+		sum.Cells, sum.Simulated, sum.Shared, sum.Forked, sum.PrunedCells, sum.PrunedConfigs,
 		sum.Elapsed.Round(time.Millisecond), sum.CellsPerSec())
 	return nil
 }

@@ -115,16 +115,20 @@ func TestRunGridCSV(t *testing.T) {
 	if len(lines) != 4 {
 		t.Fatalf("got %d lines, want header + 3 rows:\n%s", len(lines), out.String())
 	}
-	wantHeader := "bid,normalized_cost,unavailability,forced_per_hr,voluntary_per_hr,migrations,seeds,pruned,dominated_by"
+	wantHeader := "bid,normalized_cost,unavailability,forced_per_hr,voluntary_per_hr,migrations,seeds,pilot,fork_at,pruned,dominated_by"
 	if lines[0] != wantHeader {
 		t.Fatalf("header = %q, want %q", lines[0], wantHeader)
 	}
 	for i, row := range lines[1:] {
 		fields := strings.Split(row, ",")
-		if len(fields) != 9 {
+		if len(fields) != 11 {
 			t.Fatalf("row %d has %d fields: %q", i, len(fields), row)
 		}
-		if fields[7] != "false" || fields[8] != "" {
+		// No forking requested: fork_at stays empty on every row.
+		if fields[8] != "" {
+			t.Fatalf("row %d has fork_at without -fork: %q", i, row)
+		}
+		if fields[9] != "false" || fields[10] != "" {
 			t.Fatalf("row %d unexpectedly pruned: %q", i, row)
 		}
 	}

@@ -180,6 +180,14 @@ type Controller struct {
 	tickFn func()
 	odBest market.ID
 
+	// Tick-path scratch, reused across calls so building the strategy
+	// input allocates nothing after the first tick (the candidate slice
+	// scales with the catalog: 40 markets x every tick adds up). The
+	// slice returned by candidates is valid only until the next call;
+	// no caller retains it.
+	candScratch []Candidate
+	occScratch  map[market.ID]int
+
 	// Time-integrated accounting, advanced before every state change.
 	lastAccounted sim.Time
 	targetSecs    float64
@@ -399,7 +407,12 @@ func (c *Controller) capacityUnits() int {
 // spotInMarket sums in-flight spot capacity units per market (pending or
 // alive, including doomed ones — they still occupy the market).
 func (c *Controller) spotInMarket() map[market.ID]int {
-	out := map[market.ID]int{}
+	if c.occScratch == nil {
+		c.occScratch = make(map[market.ID]int, len(c.markets))
+	} else {
+		clear(c.occScratch)
+	}
+	out := c.occScratch
 	for _, r := range c.replicas {
 		if r.spot {
 			out[r.in.Market()] += r.units
@@ -419,11 +432,16 @@ func minSizeMask(min int) int { return ^(min - 1) }
 // current spot price the fleet's bid covers, sorted by market ID.
 // sizeMask bounds the candidate instance size: unit counts are powers of
 // two, so bit u of the mask admits u-unit markets (allSizes admits all —
-// always the case in legacy mode, where every market is one unit).
+// always the case in legacy mode, where every market is one unit). The
+// returned slice aliases a controller-owned scratch buffer and is valid
+// only until the next candidates call.
 func (c *Controller) candidates(sizeMask int) []Candidate {
 	now := c.eng.Now()
 	occ := c.spotInMarket()
-	cands := make([]Candidate, 0, len(c.markets))
+	if c.candScratch == nil {
+		c.candScratch = make([]Candidate, 0, len(c.markets))
+	}
+	cands := c.candScratch[:0]
 	for i, id := range c.markets {
 		u := c.mktUnits[i]
 		if u&sizeMask == 0 {
@@ -445,6 +463,7 @@ func (c *Controller) candidates(sizeMask int) []Candidate {
 			InvUnits: c.mktInv[i],
 		})
 	}
+	c.candScratch = cands
 	return cands
 }
 

@@ -13,15 +13,72 @@ import (
 	"math/rand"
 )
 
+// countingSource wraps the core math/rand source and counts how many raw
+// 64-bit steps it has produced. Counting at the source level (rather than
+// the variate level) makes a stream's position checkpointable even through
+// rejection sampling: every Int63/Uint64 call advances the underlying
+// generator by exactly one step, so (seed, n) fully determines the state.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// State is a serializable snapshot of a Stream's position: the seed it was
+// created with and the number of raw source steps consumed since. Restore
+// rebuilds a stream that continues the exact same variate sequence.
+type State struct {
+	Seed int64
+	N    uint64
+}
+
 // Stream is a deterministic source of random variates. It wraps math/rand
 // with a private source so independent components never share state.
 type Stream struct {
-	rng *rand.Rand
+	rng  *rand.Rand
+	src  *countingSource
+	seed int64
 }
 
 // NewStream returns a stream seeded directly with seed.
 func NewStream(seed int64) *Stream {
-	return &Stream{rng: rand.New(rand.NewSource(seed))}
+	s64, ok := rand.NewSource(seed).(rand.Source64)
+	if !ok {
+		// rand.NewSource has returned a Source64 since Go 1.8.
+		panic("randx: rand.NewSource is not a Source64")
+	}
+	cs := &countingSource{src: s64}
+	return &Stream{rng: rand.New(cs), src: cs, seed: seed}
+}
+
+// State returns the stream's current position for later Restore.
+func (s *Stream) State() State {
+	return State{Seed: s.seed, N: s.src.n}
+}
+
+// Restore rebuilds a stream at the given position: the same seed, advanced
+// by the same number of raw source steps. The restored stream produces the
+// identical variate sequence the original would from that point on.
+func Restore(st State) *Stream {
+	s := NewStream(st.Seed)
+	for s.src.n < st.N {
+		s.src.Uint64()
+	}
+	return s
 }
 
 // Derive returns a new stream whose seed is a deterministic function of the

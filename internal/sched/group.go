@@ -50,20 +50,12 @@ func (g *serverGroup) abandon(prov *cloud.Provider) {
 	}
 }
 
-// acquireGroup requests n servers in market m. Lifecycle warnings and
-// terminations are routed to the scheduler's handlers; group-level ready
-// and failure conditions fire the provided callbacks.
-func (s *Scheduler) acquireGroup(m market.ID, lc cloud.Lifecycle, bid float64, n int,
-	onReady, onFailed func(*serverGroup)) (*serverGroup, error) {
-
-	g := &serverGroup{
-		market:    m,
-		lifecycle: lc,
-		bid:       bid,
-		onReady:   onReady,
-		onFailed:  onFailed,
-	}
-	cb := cloud.Callbacks{
+// groupCallbacks builds the lifecycle callbacks wiring a group's members
+// to the scheduler's handlers. It is shared by acquireGroup and by fork
+// restoration (Resume re-attaches the identical wiring to instances
+// inherited from a checkpoint).
+func (s *Scheduler) groupCallbacks(g *serverGroup) cloud.Callbacks {
+	return cloud.Callbacks{
 		OnRunning: func(in *cloud.Instance) {
 			if g.abandoned {
 				return
@@ -83,6 +75,22 @@ func (s *Scheduler) acquireGroup(m market.ID, lc cloud.Lifecycle, bid float64, n
 			s.onTerminated(g, in, reason)
 		},
 	}
+}
+
+// acquireGroup requests n servers in market m. Lifecycle warnings and
+// terminations are routed to the scheduler's handlers; group-level ready
+// and failure conditions fire the provided callbacks.
+func (s *Scheduler) acquireGroup(m market.ID, lc cloud.Lifecycle, bid float64, n int,
+	onReady, onFailed func(*serverGroup)) (*serverGroup, error) {
+
+	g := &serverGroup{
+		market:    m,
+		lifecycle: lc,
+		bid:       bid,
+		onReady:   onReady,
+		onFailed:  onFailed,
+	}
+	cb := s.groupCallbacks(g)
 	for i := 0; i < n; i++ {
 		var in *cloud.Instance
 		var err error

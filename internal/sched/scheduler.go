@@ -82,6 +82,14 @@ type Scheduler struct {
 	odSeconds      float64
 	bootFallbackOD bool
 
+	// Fork bookkeeping (fork.go): an append-only journal of downtime-
+	// tracker operations, the checkpoint daemon's run epochs, and the
+	// forced-warning log. A fork with a different CheckpointBound replays
+	// these under its own parameters instead of copying the metric state.
+	downJournal  []downOp
+	daemonEpochs []daemonEpoch
+	forcedWarns  []ForcedWarning
+
 	// Trace bookkeeping: open span handles into the engine's recorder (all
 	// zero — no-ops — when tracing is off). track labels this service's
 	// lane in multi-service exports (set by Portfolio.Add).
@@ -172,19 +180,7 @@ func (s *Scheduler) Start() {
 			})
 		}
 	}
-	if s.cfg.StabilityPenalty == 0 && useEnvelope {
-		// Precompute the lower envelope of the candidate markets' weighted
-		// (servers x price) hourly costs. It is memoized on the immutable
-		// market set, so concurrent runs over the same universe share one
-		// build; the per-run cursor makes each scan O(1) amortized.
-		weights := make([]float64, len(s.cfg.Markets))
-		for i, m := range s.cfg.Markets {
-			weights[i] = float64(s.cfg.serversFor(m.Type))
-		}
-		if env := s.prov.Markets().Envelope(s.cfg.Markets, weights); env != nil {
-			s.envCur = env.Cursor()
-		}
-	}
+	s.initEnvelope()
 	if s.cfg.StabilityPenalty > 0 {
 		// Track each candidate market's decayed price volatility online.
 		s.volatility = map[market.ID]*forecast.DecayingMoments{}
@@ -200,6 +196,24 @@ func (s *Scheduler) Start() {
 		}
 	}
 	s.bootstrap()
+}
+
+// initEnvelope precomputes the lower envelope of the candidate markets'
+// weighted (servers x price) hourly costs. It is memoized on the immutable
+// market set, so concurrent runs over the same universe share one build;
+// the per-run cursor makes each scan O(1) amortized. No-op under
+// stability-aware bidding, whose volatility term is not precomputable.
+func (s *Scheduler) initEnvelope() {
+	if s.cfg.StabilityPenalty != 0 || !useEnvelope {
+		return
+	}
+	weights := make([]float64, len(s.cfg.Markets))
+	for i, m := range s.cfg.Markets {
+		weights[i] = float64(s.cfg.serversFor(m.Type))
+	}
+	if env := s.prov.Markets().Envelope(s.cfg.Markets, weights); env != nil {
+		s.envCur = env.Cursor()
+	}
 }
 
 func (s *Scheduler) bootstrap() {
@@ -409,6 +423,7 @@ func (s *Scheduler) startCheckpointing() {
 	d.OnWrite(func(mb float64) { s.ckptWrittenMB += mb * count })
 	if err := d.Start(); err == nil {
 		s.ckptDaemon = d
+		s.daemonEpochs = append(s.daemonEpochs, daemonEpoch{start: s.eng.Now(), stop: -1})
 	}
 }
 
@@ -417,6 +432,7 @@ func (s *Scheduler) stopCheckpointing() {
 	if s.ckptDaemon != nil {
 		s.ckptDaemon.Stop()
 		s.ckptDaemon = nil
+		s.daemonEpochs[len(s.daemonEpochs)-1].stop = s.eng.Now()
 	}
 }
 
@@ -588,7 +604,7 @@ func (s *Scheduler) plannedTargetReady(g *serverGroup) {
 
 	ev1 := s.eng.Schedule(downAt, func() {
 		if s.phase == phasePlanned && s.target == g && tl.Downtime > 0 {
-			s.down.MarkDown(s.eng.Now())
+			s.markDown(s.eng.Now())
 			s.traceDown(s.migClass)
 		}
 	})
@@ -596,9 +612,9 @@ func (s *Scheduler) plannedTargetReady(g *serverGroup) {
 		if s.phase != phasePlanned || s.target != g {
 			return
 		}
-		s.down.MarkUp(s.eng.Now())
+		s.markUp(s.eng.Now())
 		s.traceUp()
-		s.down.AddDegraded(tl.Degraded)
+		s.addDegraded(tl.Degraded)
 		if reverse {
 			s.migrations.Reverse++
 		} else {
@@ -718,6 +734,7 @@ func (s *Scheduler) beginForcedMigration(deadline sim.Time) {
 	grace := deadline - now
 	tau := float64(s.cfg.VMParams.CheckpointBound)
 	naive := s.cfg.Mechanism == vm.Naive
+	s.forcedWarns = append(s.forcedWarns, ForcedWarning{At: now, Grace: grace})
 	s.forcedMemLost = naive || grace < tau
 	if s.forcedMemLost {
 		s.migrations.MemoryLost++
@@ -733,7 +750,7 @@ func (s *Scheduler) beginForcedMigration(deadline sim.Time) {
 	}
 	if s.forcedMemLost {
 		s.eng.Post(deadline, func() {
-			s.down.MarkDown(s.eng.Now())
+			s.markForcedDown(deadline, grace, true)
 			s.tracer().Instant(trace.KindSuspend, "memlost", s.track, s.eng.Now())
 			s.traceDown(downClass)
 			s.logEvent(EvSuspend, s.group, "terminated without checkpoint (memory lost)")
@@ -742,7 +759,7 @@ func (s *Scheduler) beginForcedMigration(deadline sim.Time) {
 		})
 	} else {
 		s.eng.Post(deadline-tau, func() {
-			s.down.MarkDown(s.eng.Now())
+			s.markForcedDown(deadline, grace, false)
 			s.tracer().Instant(trace.KindSuspend, "checkpoint", s.track, s.eng.Now())
 			s.traceDown(downClass)
 			s.logEvent(EvSuspend, s.group, "suspended for final increment")
@@ -842,8 +859,8 @@ func (s *Scheduler) maybeRestore() {
 		if s.phase != phaseForced || s.target != g {
 			return
 		}
-		s.down.MarkUp(s.eng.Now())
-		s.down.AddDegraded(degraded)
+		s.markUp(s.eng.Now())
+		s.addDegraded(degraded)
 		r := s.tracer()
 		r.ObserveRestore(r.End(s.restSpan, s.eng.Now()))
 		s.restSpan = 0
@@ -912,8 +929,8 @@ func (s *Scheduler) waitingReady(g *serverGroup) {
 		if s.group != g || g.abandoned || !g.alive() {
 			return // re-acquired server was lost again mid-restore
 		}
-		s.down.MarkUp(s.eng.Now())
-		s.down.AddDegraded(degraded)
+		s.markUp(s.eng.Now())
+		s.addDegraded(degraded)
 		r := s.tracer()
 		r.ObserveRestore(r.End(s.restSpan, s.eng.Now()))
 		s.restSpan = 0
@@ -1023,7 +1040,7 @@ func (s *Scheduler) Stop() {
 	}
 	// An intentional shutdown is not an availability violation: close any
 	// open downtime episode at the stop instant.
-	s.down.MarkUp(s.stoppedAt)
+	s.markUp(s.stoppedAt)
 	s.traceUp()
 	s.tracer().End(s.bootSpan, s.stoppedAt)
 	s.bootSpan = 0

@@ -140,6 +140,16 @@ func NewEngine() *Engine {
 	return e
 }
 
+// NewEngineAt returns an empty engine with its clock already advanced to t.
+// It is the entry point for forked simulations: a run restored from a
+// mid-horizon checkpoint schedules its rearm events at absolute times >= t,
+// so the engine must start there rather than replaying [0, t).
+func NewEngineAt(t Time) *Engine {
+	e := NewEngine()
+	e.now = t
+	return e
+}
+
 // refill grows the free list by one slab, doubling the slab size (up to
 // maxSlabSize) on each refill.
 func (e *Engine) refill() {

@@ -2,12 +2,17 @@
 // million-cell grid engine. A sweep is the cross product of several knob
 // axes (bid multiple, checkpoint bound tau, hysteresis, stability lambda)
 // times a list of seeds; every (grid point, seed) pair is one simulation
-// cell. Three mechanisms keep huge grids tractable on one machine:
+// cell. Four mechanisms keep huge grids tractable on one machine:
 //
 //   - warm-start sharing: cells that differ only in a late-binding knob
 //     are partitioned, per universe, into equivalence classes by a sound
 //     static oracle over the columnar price traces; one pilot simulation's
 //     report serves the whole class, byte for byte (see certify.go);
+//   - fork reuse: cells that diverge mid-horizon resume the family pilot's
+//     last quiescent checkpoint before their first divergence point and
+//     simulate only the tail, still byte-identical to a cold run — this is
+//     what makes a tau axis, which has no whole-horizon oracle, nearly as
+//     cheap as a warm one (see runner.go and sched.Checkpoint);
 //   - pruning: configurations that are strictly worse on cost and no
 //     better on availability than a completed neighbor, on every seed
 //     evaluated so far, are cut from the remaining seed waves — logged and
@@ -44,9 +49,16 @@ func knownKnob(k string) bool {
 	return false
 }
 
-// warmable reports whether a knob has a divergence oracle (certify.go) and
-// can therefore serve as the warm-start axis.
+// warmable reports whether a knob has a static divergence-time oracle
+// (certify.go) and can therefore certify whole-horizon sharing.
 func warmable(k string) bool { return k == KnobBid || k == KnobHysteresis }
+
+// forkable reports whether a knob's siblings can resume a pilot's
+// mid-horizon checkpoint (runner.go). Every warmable knob is forkable; tau
+// is forkable without being warmable — its divergence point is discovered
+// dynamically from the pilot's forced-warning log rather than from a
+// static trace scan. Lambda is neither: it shapes every decision.
+func forkable(k string) bool { return warmable(k) || k == KnobTau }
 
 // Axis is one knob dimension of a grid.
 type Axis struct {
@@ -183,7 +195,10 @@ type Plan struct {
 //
 // The warm axis is the certifiable axis (bid or hysteresis) with the most
 // values — the one whose sharing collapses the most cells; ties go to the
-// earlier axis. Grids with no certifiable axis get WarmAxis == -1 and
+// earlier axis. When no certifiable axis exists but a forkable one does
+// (tau), the forkable axis becomes the warm axis: it cannot share whole
+// horizons, but a fork-enabled runner can still resume siblings from the
+// family pilot's checkpoints. Grids with neither get WarmAxis == -1 and
 // degenerate to singleton families (every cell runs cold).
 func NewPlan(axes []Axis, home market.ID, fleetSize int) (*Plan, error) {
 	if len(axes) == 0 {
@@ -212,6 +227,16 @@ func NewPlan(axes []Axis, home market.ID, fleetSize int) (*Plan, error) {
 		}
 		if p.WarmAxis == -1 || len(ax.Values) > len(axes[p.WarmAxis].Values) {
 			p.WarmAxis = i
+		}
+	}
+	if p.WarmAxis == -1 {
+		for i, ax := range axes {
+			if !forkable(ax.Knob) {
+				continue
+			}
+			if p.WarmAxis == -1 || len(ax.Values) > len(axes[p.WarmAxis].Values) {
+				p.WarmAxis = i
+			}
 		}
 	}
 

@@ -92,8 +92,21 @@ func TestNewPlanWarmAxisSelection(t *testing.T) {
 		t.Fatalf("WarmAxis = %d, want 1 (hysteresis has more values)", plan.WarmAxis)
 	}
 
-	// Grids with no certifiable axis degrade to singleton families.
+	// With no certifiable axis, a forkable one (tau) becomes the warm
+	// axis: a fork-enabled runner can still resume siblings mid-horizon.
 	plan, err = NewPlan([]Axis{{Knob: KnobTau, Values: []float64{1, 3, 10}}}, testHome, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.WarmAxis != 0 {
+		t.Fatalf("WarmAxis = %d, want 0 (tau is forkable)", plan.WarmAxis)
+	}
+	if len(plan.Families) != 1 || len(plan.Families[0].Members) != 3 {
+		t.Fatalf("families = %+v, want one tau family of 3", plan.Families)
+	}
+
+	// Grids with neither degrade to singleton families.
+	plan, err = NewPlan([]Axis{{Knob: KnobLambda, Values: []float64{0, 0.5, 1}}}, testHome, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,19 @@ type Spec struct {
 	// cells are byte-identical to what a cold run would produce.
 	WarmStart bool
 
+	// Fork resumes warm-axis siblings from the family pilot's last
+	// quiescent checkpoint at or before their first divergence point, so
+	// a sibling simulates only the tail of the horizon instead of all of
+	// it. Forked reports are byte-identical to cold runs. Fork is what
+	// makes a tau axis — which has no whole-horizon oracle and therefore
+	// never shares — nearly as cheap as a warm one, and it composes with
+	// WarmStart: classes that never diverge still share outright.
+	Fork bool
+
+	// CheckpointEvery is the capture cadence of fork pilots in simulated
+	// time. 0 means a default of six simulated hours.
+	CheckpointEvery sim.Duration
+
 	// Prune cuts configurations that are strictly worse on cost and no
 	// better on availability than another configuration on every seed
 	// evaluated so far. Pruned configs are reported with the point that
@@ -61,15 +74,17 @@ type Cell struct {
 	Seed    int64
 	Values  []float64 // the point's knob values, in axis order
 	Report  metrics.Report
-	Shared  bool // true when the report was reused from a certified pilot
-	Pilot   int  // point whose simulation produced the report (== Point when cold)
+	Shared  bool     // true when the report was reused from a certified pilot
+	Forked  bool     // true when the cell resumed a pilot checkpoint
+	ForkAt  sim.Time // checkpoint time the fork resumed from (when Forked)
+	Pilot   int      // point whose simulation fed the cell (== Point when cold)
 }
 
 // Progress is a point-in-time view of a running sweep.
 type Progress struct {
-	Done, Total                    int
-	Simulated, Shared, PrunedCells int
-	Elapsed                        time.Duration
+	Done, Total                            int
+	Simulated, Shared, Forked, PrunedCells int
+	Elapsed                                time.Duration
 }
 
 // CellsPerSec returns resolved cells per wall-clock second so far.
@@ -86,6 +101,10 @@ type Result struct {
 	Values      []float64
 	SeedsRun    int            // seeds resolved before (possible) pruning
 	Mean        metrics.Report // mean over SeedsRun, as metrics.Average
+	SharedSeeds int            // seeds resolved by reusing a pilot's report
+	ForkedSeeds int            // seeds resolved by resuming a pilot checkpoint
+	MeanForkAt  sim.Time       // mean resume time over forked seeds (0 if none)
+	Pilot       int            // pilot point when uniform across seeds; -1 if mixed
 	Pruned      bool
 	DominatedBy int // point index that dominated this one; -1 if not pruned
 }
@@ -98,14 +117,15 @@ type Summary struct {
 	Cells         int // points x seeds
 	Simulated     int // cells that ran a cold simulation
 	Shared        int // cells resolved by a certified pilot's report
+	Forked        int // cells resolved by resuming a pilot checkpoint
 	PrunedCells   int // cells skipped because their config was pruned
 	PrunedConfigs int
 	Elapsed       time.Duration
 	Results       []Result
 }
 
-// CellsPerSec returns resolved cells (simulated + shared + pruned) per
-// wall-clock second.
+// CellsPerSec returns resolved cells (simulated + shared + forked +
+// pruned) per wall-clock second.
 func (s *Summary) CellsPerSec() float64 {
 	if s.Elapsed <= 0 {
 		return 0
@@ -121,10 +141,15 @@ type seedStat struct {
 }
 
 // pointState is the per-grid-point running state: a streaming mean
-// accumulator plus the compact per-seed stats.
+// accumulator plus the compact per-seed stats and reuse tallies.
 type pointState struct {
 	accum       reportAccum
 	stats       []seedStat
+	sharedSeeds int
+	forkedSeeds int
+	forkAtSum   float64
+	pilot       int
+	seenPilot   bool
 	pruned      bool
 	dominatedBy int
 }
@@ -134,6 +159,47 @@ type pointState struct {
 // dominator just runs a config that could have been cut; it never cuts a
 // config that should have run.
 const maxDominatorChecks = 4
+
+// waveJob is one phase-1 simulation of a seed wave: a cold run, with
+// checkpoint capture when the point pilots forks.
+type waveJob struct {
+	pt      int
+	capture bool
+}
+
+// waveRes carries a phase-1 result; log is non-nil only for capture jobs.
+type waveRes struct {
+	rep metrics.Report
+	log *sched.ForkLog
+}
+
+// forkJob is one phase-2 resolution: a class pilot that resumes its family
+// pilot's checkpoint instead of running the whole horizon.
+type forkJob struct {
+	pt         int      // point to resolve
+	pilot      int      // family pilot whose checkpoints it resumes
+	div        sim.Time // static divergence bound vs the family pilot
+	dynamic    bool     // tau: divergence read from the pilot's ForkLog
+	tau0, tauJ float64  // checkpoint bounds of pilot and sibling (dynamic)
+}
+
+// forkRes is how a fork job was resolved: shared outright, forked from a
+// checkpoint, or (fallback) simulated cold.
+type forkRes struct {
+	rep    metrics.Report
+	shared bool
+	forked bool
+	forkAt sim.Time
+}
+
+// resolved is a wave cell's final report plus how it was obtained.
+type resolved struct {
+	rep    metrics.Report
+	pilot  int
+	shared bool
+	forked bool
+	forkAt sim.Time
+}
 
 // Run executes the sweep described by spec, streaming cells through the
 // bounded aggregator, and returns the summary. Cancelling ctx aborts every
@@ -159,6 +225,10 @@ func Run(ctx context.Context, spec *Spec) (*Summary, error) {
 			return cache.Generate(mc)
 		}
 	}
+	ckEvery := spec.CheckpointEvery
+	if ckEvery <= 0 {
+		ckEvery = 6 * sim.Hour
+	}
 
 	nP := len(plan.Points)
 	totalCells := nP * len(spec.Seeds)
@@ -169,7 +239,7 @@ func Run(ctx context.Context, spec *Spec) (*Summary, error) {
 	}
 
 	start := time.Now()
-	var done, simulated, sharedCt, prunedCells atomic.Int64
+	var done, simulated, sharedCt, forkedCt, prunedCells atomic.Int64
 	var progMu sync.Mutex
 	var lastProg time.Time
 	emit := func(force bool) {
@@ -188,13 +258,19 @@ func Run(ctx context.Context, spec *Spec) (*Summary, error) {
 			Total:       totalCells,
 			Simulated:   int(simulated.Load()),
 			Shared:      int(sharedCt.Load()),
+			Forked:      int(forkedCt.Load()),
 			PrunedCells: int(prunedCells.Load()),
 			Elapsed:     now.Sub(start),
 		})
 	}
 
-	pilotOf := make([]int, nP) // point -> pilot point this wave, or -1
-	jobIdx := make([]int, nP)  // point -> index in this wave's job list
+	warmKnob := ""
+	if plan.WarmAxis >= 0 {
+		warmKnob = plan.Axes[plan.WarmAxis].Knob
+	}
+	pilotOf := make([]int, nP)      // point -> class pilot this wave, or -1
+	jobIdx := make([]int, nP)       // point -> index in the phase-1 job list
+	cellRes := make([]resolved, nP) // per-point resolution this wave
 	for seedIdx, seed := range spec.Seeds {
 		set, err := universe(seed)
 		if err != nil {
@@ -205,12 +281,14 @@ func Run(ctx context.Context, spec *Spec) (*Summary, error) {
 			horizon = set.Horizon()
 		}
 
-		// Plan the wave: one job per alive point, collapsed to one job per
-		// certified equivalence class under warm-start.
+		// Plan the wave. Phase 1 runs cold simulations (family pilots of
+		// forking families capture checkpoints); phase 2 resumes every
+		// remaining class pilot from its family pilot's checkpoints.
 		for i := range pilotOf {
 			pilotOf[i] = -1
 		}
-		var jobs []int
+		var jobs []waveJob
+		var forkJobs []forkJob
 		var alive []int
 		for _, fam := range plan.Families {
 			alive = alive[:0]
@@ -222,63 +300,211 @@ func Run(ctx context.Context, spec *Spec) (*Summary, error) {
 			if len(alive) == 0 {
 				continue
 			}
-			if spec.WarmStart && plan.WarmAxis >= 0 && len(alive) > 1 {
-				for _, cls := range shareClasses(plan, alive, set, cloudP.BidCap, horizon) {
-					jobs = append(jobs, cls[0])
+			if len(alive) == 1 || plan.WarmAxis < 0 {
+				for _, m := range alive {
+					jobs = append(jobs, waveJob{pt: m})
+				}
+				continue
+			}
+			switch {
+			case warmable(warmKnob) && (spec.WarmStart || spec.Fork):
+				times, _ := adjacentDivergeTimes(plan, alive, set, cloudP.BidCap, horizon)
+				var classes [][]int
+				if spec.WarmStart {
+					classes = classesFromTimes(alive, times, horizon)
+				} else {
+					classes = singletons(alive)
+				}
+				if !spec.Fork || len(classes) == 1 {
+					for _, cls := range classes {
+						jobs = append(jobs, waveJob{pt: cls[0]})
+						for _, m := range cls[1:] {
+							pilotOf[m] = cls[0]
+						}
+					}
+					continue
+				}
+				// Trajectories of the family pilot and member j are
+				// provably identical until the prefix-minimum of the
+				// adjacent divergence times up to j, so each later class
+				// pilot resumes the last checkpoint at or before it.
+				famPilot := alive[0]
+				jobs = append(jobs, waveJob{pt: famPilot, capture: true})
+				prefix := make([]sim.Time, len(alive))
+				prefix[0] = never
+				for j := 1; j < len(alive); j++ {
+					prefix[j] = prefix[j-1]
+					if times[j-1] < prefix[j] {
+						prefix[j] = times[j-1]
+					}
+				}
+				off := 0
+				for ci, cls := range classes {
+					if ci > 0 {
+						forkJobs = append(forkJobs, forkJob{pt: cls[0], pilot: famPilot, div: prefix[off]})
+					}
 					for _, m := range cls[1:] {
 						pilotOf[m] = cls[0]
 					}
+					off += len(cls)
 				}
-			} else {
-				jobs = append(jobs, alive...)
+			case warmKnob == KnobTau && spec.Fork:
+				// No static oracle: divergence is found in phase 2 from
+				// the pilot's forced-warning log, per sibling.
+				famPilot := alive[0]
+				jobs = append(jobs, waveJob{pt: famPilot, capture: true})
+				tau0 := plan.Points[famPilot].Values[plan.WarmAxis]
+				for _, m := range alive[1:] {
+					tauJ := plan.Points[m].Values[plan.WarmAxis]
+					if tauJ == tau0 {
+						pilotOf[m] = famPilot
+						continue
+					}
+					forkJobs = append(forkJobs, forkJob{
+						pt: m, pilot: famPilot, dynamic: true, tau0: tau0, tauJ: tauJ,
+					})
+				}
+			default:
+				for _, m := range alive {
+					jobs = append(jobs, waveJob{pt: m})
+				}
 			}
 		}
-		for i, pt := range jobs {
-			jobIdx[pt] = i
-		}
 
-		reports, err := runpool.MapCtx(ctx, spec.Workers, jobs, func(ctx context.Context, _, pt int) (metrics.Report, error) {
+		reports, err := runpool.MapCtx(ctx, spec.Workers, jobs, func(ctx context.Context, _ int, j waveJob) (waveRes, error) {
 			cp := cloudP
 			cp.Seed = seed
-			rep, err := sched.RunCtx(ctx, set, cp, plan.Points[pt].Config, horizon)
+			cfg := plan.Points[j.pt].Config
+			if j.capture {
+				rep, lg, err := sched.RunWithCheckpointsCtx(ctx, set, cp, cfg, horizon, ckEvery)
+				if err == nil {
+					done.Add(1)
+					simulated.Add(1)
+					emit(false)
+				}
+				return waveRes{rep: rep, log: lg}, err
+			}
+			rep, err := sched.RunCtx(ctx, set, cp, cfg, horizon)
 			if err == nil {
 				done.Add(1)
 				simulated.Add(1)
 				emit(false)
 			}
-			return rep, err
+			return waveRes{rep: rep}, err
 		})
 		if err != nil {
 			return nil, err
 		}
+		for i, j := range jobs {
+			jobIdx[j.pt] = i
+			cellRes[j.pt] = resolved{rep: reports[i].rep, pilot: j.pt}
+		}
 
-		// Distribute reports to every alive point, in point order.
+		fres, err := runpool.MapCtx(ctx, spec.Workers, forkJobs, func(ctx context.Context, _ int, j forkJob) (forkRes, error) {
+			pr := reports[jobIdx[j.pilot]]
+			div := j.div
+			if j.dynamic {
+				// Trajectories under two checkpoint bounds separate at the
+				// first forced warning whose grace window loses memory
+				// under one bound but not the other. When no warning flips
+				// and every warning lost memory under both bounds (so the
+				// metric-only suspend instant deadline-tau never fired)
+				// and the checkpoint daemon never ran, the sibling's
+				// entire report is byte-identical: share it outright.
+				div = never
+				share := !pr.log.DaemonRan
+				for _, w := range pr.log.ForcedWarnings {
+					lost0, lostJ := w.Grace < j.tau0, w.Grace < j.tauJ
+					switch {
+					case lost0 != lostJ:
+						share = false
+						if w.At < div {
+							div = w.At
+						}
+					case !lost0:
+						share = false
+					}
+				}
+				if share {
+					done.Add(1)
+					sharedCt.Add(1)
+					emit(false)
+					return forkRes{rep: pr.rep, shared: true}, nil
+				}
+			}
+			cp := cloudP
+			cp.Seed = seed
+			cfg := plan.Points[j.pt].Config
+			bound := div
+			if bound > horizon {
+				bound = horizon
+			}
+			if ck := pr.log.LastCheckpointAtOrBefore(bound); ck != nil {
+				rep, err := sched.RunForkedCtx(ctx, set, cp, cfg, horizon, ck)
+				if err == nil {
+					done.Add(1)
+					forkedCt.Add(1)
+					emit(false)
+				}
+				return forkRes{rep: rep, forked: true, forkAt: ck.At()}, err
+			}
+			// No usable checkpoint (divergence before the first capture,
+			// or the pilot never reached quiescence): run cold.
+			rep, err := sched.RunCtx(ctx, set, cp, cfg, horizon)
+			if err == nil {
+				done.Add(1)
+				simulated.Add(1)
+				emit(false)
+			}
+			return forkRes{rep: rep}, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, j := range forkJobs {
+			fr := fres[i]
+			r := resolved{rep: fr.rep, pilot: j.pt, shared: fr.shared, forked: fr.forked, forkAt: fr.forkAt}
+			if fr.shared || fr.forked {
+				r.pilot = j.pilot
+			}
+			cellRes[j.pt] = r
+		}
+
+		// Distribute resolutions to every alive point, in point order.
 		for p := 0; p < nP; p++ {
 			st := &states[p]
 			if st.pruned {
 				continue
 			}
-			// jobIdx entries are only valid for points that got a job this
-			// wave; a shared point's own entry is stale.
-			var rep metrics.Report
-			shared := false
-			pilot := p
+			r := cellRes[p]
 			if pilotOf[p] >= 0 {
-				pilot = pilotOf[p]
-				rep = reports[jobIdx[pilot]]
-				shared = true
+				// Certified identical to its class pilot for the whole
+				// horizon: reuse the pilot's resolved report.
+				r = resolved{rep: cellRes[pilotOf[p]].rep, pilot: pilotOf[p], shared: true}
 				sharedCt.Add(1)
 				done.Add(1)
-			} else {
-				rep = reports[jobIdx[p]]
 			}
-			st.accum.add(rep)
-			st.stats = append(st.stats, seedStat{cost: rep.NormalizedCost(), unav: rep.Unavailability()})
+			st.accum.add(r.rep)
+			st.stats = append(st.stats, seedStat{cost: r.rep.NormalizedCost(), unav: r.rep.Unavailability()})
+			if r.shared {
+				st.sharedSeeds++
+			}
+			if r.forked {
+				st.forkedSeeds++
+				st.forkAtSum += r.forkAt
+			}
+			if !st.seenPilot {
+				st.seenPilot = true
+				st.pilot = r.pilot
+			} else if st.pilot != r.pilot {
+				st.pilot = -1
+			}
 			if spec.OnCell != nil {
 				spec.OnCell(Cell{
 					Point: p, SeedIdx: seedIdx, Seed: seed,
 					Values: plan.Points[p].Values,
-					Report: rep, Shared: shared, Pilot: pilot,
+					Report: r.rep, Shared: r.shared, Pilot: r.pilot,
+					Forked: r.forked, ForkAt: r.forkAt,
 				})
 			}
 		}
@@ -301,20 +527,28 @@ func Run(ctx context.Context, spec *Spec) (*Summary, error) {
 		Cells:       totalCells,
 		Simulated:   int(simulated.Load()),
 		Shared:      int(sharedCt.Load()),
+		Forked:      int(forkedCt.Load()),
 		PrunedCells: int(prunedCells.Load()),
 		Elapsed:     time.Since(start),
 		Results:     make([]Result, nP),
 	}
 	for p := range states {
 		st := &states[p]
-		sum.Results[p] = Result{
+		res := Result{
 			Point:       p,
 			Values:      plan.Points[p].Values,
 			SeedsRun:    len(st.stats),
 			Mean:        st.accum.mean(),
+			SharedSeeds: st.sharedSeeds,
+			ForkedSeeds: st.forkedSeeds,
+			Pilot:       st.pilot,
 			Pruned:      st.pruned,
 			DominatedBy: st.dominatedBy,
 		}
+		if st.forkedSeeds > 0 {
+			res.MeanForkAt = st.forkAtSum / float64(st.forkedSeeds)
+		}
+		sum.Results[p] = res
 		if st.pruned {
 			sum.PrunedConfigs++
 		}

@@ -114,6 +114,14 @@ func TestShareClassesHysteresis(t *testing.T) {
 	}
 }
 
+// stripProvenance zeroes a Result's reuse bookkeeping (which legitimately
+// differs between cold, warm, and fork runs) so comparisons check only the
+// metric content.
+func stripProvenance(r Result) Result {
+	r.SharedSeeds, r.ForkedSeeds, r.MeanForkAt, r.Pilot = 0, 0, 0, 0
+	return r
+}
+
 // TestWarmStartToggleByteIdentity is the acceptance test for warm-start:
 // on a synthetic multi-seed grid, WarmStart on and off must produce
 // byte-identical per-cell reports and summaries, while actually sharing
@@ -171,14 +179,13 @@ func TestWarmStartToggleByteIdentity(t *testing.T) {
 				}
 			}
 			for i := range coldSum.Results {
-				if !reflect.DeepEqual(coldSum.Results[i], warmSum.Results[i]) {
-					t.Fatalf("result %d differs:\ncold: %+v\nwarm: %+v",
-						i, coldSum.Results[i], warmSum.Results[i])
+				if c, w := stripProvenance(coldSum.Results[i]), stripProvenance(warmSum.Results[i]); !reflect.DeepEqual(c, w) {
+					t.Fatalf("result %d differs:\ncold: %+v\nwarm: %+v", i, c, w)
 				}
 			}
-			if warmSum.Simulated+warmSum.Shared != warmSum.Cells {
-				t.Fatalf("warm accounting: %d simulated + %d shared != %d cells",
-					warmSum.Simulated, warmSum.Shared, warmSum.Cells)
+			if warmSum.Simulated+warmSum.Shared+warmSum.Forked != warmSum.Cells {
+				t.Fatalf("warm accounting: %d simulated + %d shared + %d forked != %d cells",
+					warmSum.Simulated, warmSum.Shared, warmSum.Forked, warmSum.Cells)
 			}
 			if name == "bid" && warmSum.Shared == 0 {
 				// Bids 4, 5, 6 share one capped effective bid, so the bid
@@ -186,6 +193,83 @@ func TestWarmStartToggleByteIdentity(t *testing.T) {
 				t.Fatalf("bid grid shared nothing; certification is vacuous")
 			}
 			t.Logf("%s: %d cells, warm simulated %d, shared %d", name, warmSum.Cells, warmSum.Simulated, warmSum.Shared)
+		})
+	}
+}
+
+// TestForkToggleByteIdentity is the acceptance test for fork reuse: with
+// Fork on, warm-axis siblings resume the family pilot's checkpoints — on a
+// tau axis, which has no whole-horizon oracle and was previously never
+// shareable — and every per-cell report and per-point aggregate must stay
+// byte-identical to the fork-off sweep.
+func TestForkToggleByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs dozens of simulations")
+	}
+	mcfg := market.DefaultConfig(0)
+	mcfg.Horizon = 6 * sim.Day
+
+	grids := map[string][]Axis{
+		"tau": {{Knob: KnobTau, Values: []float64{1, 3, 10, 30}}},
+		"bid": {{Knob: KnobBid, Values: []float64{1.5, 2, 3, 4, 5, 6}}},
+	}
+	for name, axes := range grids {
+		t.Run(name, func(t *testing.T) {
+			spec := Spec{
+				Axes:    axes,
+				Seeds:   []int64{23, 46},
+				Home:    testHome,
+				Horizon: 4 * sim.Day,
+				Market:  mcfg,
+			}
+			run := func(fork bool) ([]Cell, *Summary) {
+				s := spec
+				s.Fork = fork
+				var cells []Cell
+				s.OnCell = func(c Cell) { cells = append(cells, c) }
+				sum, err := Run(context.Background(), &s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return cells, sum
+			}
+			cold, coldSum := run(false)
+			forked, forkSum := run(true)
+
+			if len(cold) != len(forked) || len(cold) != coldSum.Cells {
+				t.Fatalf("cell counts: off %d, on %d, want %d", len(cold), len(forked), coldSum.Cells)
+			}
+			if coldSum.Forked != 0 || coldSum.Shared != 0 {
+				t.Fatalf("fork-off run reused cells: %d forked, %d shared", coldSum.Forked, coldSum.Shared)
+			}
+			for i := range cold {
+				c, f := cold[i], forked[i]
+				if c.Point != f.Point || c.Seed != f.Seed {
+					t.Fatalf("cell %d order differs: off (%d,%d) vs on (%d,%d)",
+						i, c.Point, c.Seed, f.Point, f.Seed)
+				}
+				if !reflect.DeepEqual(c.Report, f.Report) {
+					t.Fatalf("%s cell %d (point %d seed %d, forked=%v at %v): fork report differs from cold\ncold: %+v\nfork: %+v",
+						name, i, c.Point, c.Seed, f.Forked, f.ForkAt, c.Report, f.Report)
+				}
+				if f.Forked && f.ForkAt <= 0 {
+					t.Fatalf("%s cell %d forked with non-positive resume time %v", name, i, f.ForkAt)
+				}
+			}
+			for i := range coldSum.Results {
+				if c, f := stripProvenance(coldSum.Results[i]), stripProvenance(forkSum.Results[i]); !reflect.DeepEqual(c, f) {
+					t.Fatalf("result %d differs:\noff: %+v\non:  %+v", i, c, f)
+				}
+			}
+			if forkSum.Simulated+forkSum.Shared+forkSum.Forked != forkSum.Cells {
+				t.Fatalf("fork accounting: %d simulated + %d shared + %d forked != %d cells",
+					forkSum.Simulated, forkSum.Shared, forkSum.Forked, forkSum.Cells)
+			}
+			if forkSum.Forked == 0 {
+				t.Fatalf("%s grid forked nothing; fork reuse is vacuous", name)
+			}
+			t.Logf("%s: %d cells, fork-on simulated %d, shared %d, forked %d",
+				name, forkSum.Cells, forkSum.Simulated, forkSum.Shared, forkSum.Forked)
 		})
 	}
 }
@@ -233,9 +317,10 @@ func TestPruneDominatedSweep(t *testing.T) {
 	if sum.PrunedConfigs != 1 || sum.PrunedCells != 2 {
 		t.Fatalf("summary pruning: configs %d cells %d, want 1 and 2", sum.PrunedConfigs, sum.PrunedCells)
 	}
-	// Accounting: every cell is simulated, shared, or pruned.
-	if sum.Simulated+sum.Shared+sum.PrunedCells != sum.Cells {
-		t.Fatalf("accounting: %d + %d + %d != %d", sum.Simulated, sum.Shared, sum.PrunedCells, sum.Cells)
+	// Accounting: every cell is simulated, shared, forked, or pruned.
+	if sum.Simulated+sum.Shared+sum.Forked+sum.PrunedCells != sum.Cells {
+		t.Fatalf("accounting: %d + %d + %d + %d != %d",
+			sum.Simulated, sum.Shared, sum.Forked, sum.PrunedCells, sum.Cells)
 	}
 	// The pruned point stops producing cells after its first seed.
 	for _, c := range cells {

@@ -37,6 +37,7 @@ type CheckpointDaemon struct {
 	// once at construction so the periodic tick posts nothing new.
 	incrFn     func()  // arms writeIncrement
 	incrDoneFn func()  // completes the in-flight incremental write
+	fullDoneFn func()  // completes the initial full checkpoint
 	pendingMB  float64 // size of the in-flight incremental write
 }
 
@@ -60,6 +61,17 @@ func NewCheckpointDaemon(eng *sim.Engine, spec Spec, p Params) (*CheckpointDaemo
 		d.record(d.pendingMB)
 		d.scheduleNext()
 	}
+	d.fullDoneFn = func() {
+		if d.stopped {
+			return
+		}
+		d.writing = false
+		d.fullCheckpoints++
+		d.record(d.spec.MemoryMB())
+		// Pages dirtied during the full write are the first increment's
+		// backlog; the accumulation clock restarted at lastStart.
+		d.scheduleNext()
+	}
 	return d, nil
 }
 
@@ -80,18 +92,7 @@ func (d *CheckpointDaemon) Start() error {
 	d.running = true
 	d.writing = true
 	d.lastStart = d.eng.Now()
-	full := d.spec.MemoryMB()
-	d.eng.PostAfter(full/d.p.CheckpointWriteMBps, func() {
-		if d.stopped {
-			return
-		}
-		d.writing = false
-		d.fullCheckpoints++
-		d.record(full)
-		// Pages dirtied during the full write are the first increment's
-		// backlog; the accumulation clock restarted at lastStart.
-		d.scheduleNext()
-	})
+	d.eng.PostAfter(d.spec.MemoryMB()/d.p.CheckpointWriteMBps, d.fullDoneFn)
 	return nil
 }
 

@@ -1,0 +1,172 @@
+package vm
+
+import (
+	"fmt"
+
+	"spothost/internal/sim"
+)
+
+// DaemonEventKind names the single event a checkpoint daemon ever has
+// pending. The daemon's schedule is a deterministic function of its write
+// clocks, so a snapshot needs only the kind and time of the next event —
+// no event-heap walk.
+type DaemonEventKind int
+
+const (
+	// DaemonIdle means no event is pending (stopped, never started, or a
+	// zero dirty rate left nothing to checkpoint).
+	DaemonIdle DaemonEventKind = iota
+	// DaemonFullDone completes the initial full checkpoint.
+	DaemonFullDone
+	// DaemonIncrStart begins the next incremental write.
+	DaemonIncrStart
+	// DaemonIncrDone completes the in-flight incremental write.
+	DaemonIncrDone
+)
+
+// DaemonState is a serializable snapshot of a checkpoint daemon: its write
+// clocks, counters, and the one pending event reconstructed from them.
+// RestoreCheckpointDaemon rebuilds a live daemon that continues the exact
+// same write schedule on a fresh engine.
+type DaemonState struct {
+	LastStart       sim.Time
+	Writing         bool
+	PendingMB       float64
+	FullCheckpoints int
+	Incrementals    int
+	BytesWrittenMB  float64
+	Next            DaemonEventKind
+	NextAt          sim.Time
+}
+
+// Snapshot captures the daemon's current state. The pending event is
+// recomputed from the write clocks: the same float arithmetic that armed
+// the original event (Start posts full/rate after lastStart; writeIncrement
+// posts pendingMB/rate after lastStart; scheduleNext posts lastStart +
+// interval), so the reconstructed time is bit-identical to the event
+// sitting in the original engine's heap. A clamped scheduleNext target
+// (backlog, target <= now) fires immediately, so an event still pending at
+// a later quiescent instant was never clamped.
+func (d *CheckpointDaemon) Snapshot() DaemonState {
+	st := DaemonState{
+		LastStart:       d.lastStart,
+		Writing:         d.writing,
+		PendingMB:       d.pendingMB,
+		FullCheckpoints: d.fullCheckpoints,
+		Incrementals:    d.incrementals,
+		BytesWrittenMB:  d.bytesWrittenMB,
+	}
+	switch {
+	case !d.running || d.stopped:
+		st.Next = DaemonIdle
+	case d.writing && d.fullCheckpoints == 0:
+		st.Next = DaemonFullDone
+		st.NextAt = d.lastStart + d.spec.MemoryMB()/d.p.CheckpointWriteMBps
+	case d.writing:
+		st.Next = DaemonIncrDone
+		st.NextAt = d.lastStart + d.pendingMB/d.p.CheckpointWriteMBps
+	default:
+		interval := d.p.CheckpointInterval(d.spec)
+		if interval <= 0 {
+			st.Next = DaemonIdle
+		} else {
+			st.Next = DaemonIncrStart
+			st.NextAt = d.lastStart + interval
+		}
+	}
+	return st
+}
+
+// ReplayDaemon reproduces, without an engine, the write schedule of a
+// daemon Started at start and left running until cutoff (exclusive),
+// mirroring the live daemon's float operations op-for-op: callers that sum
+// the onWrite amounts in order obtain bit-identical accumulators to a run
+// that hosted the real daemon. It returns the daemon's state at cutoff,
+// suitable for RestoreCheckpointDaemon.
+func ReplayDaemon(spec Spec, p Params, start, cutoff sim.Time, onWrite func(mb float64)) DaemonState {
+	st := DaemonState{
+		LastStart: start,
+		Writing:   true,
+		Next:      DaemonFullDone,
+		NextAt:    start + spec.MemoryMB()/p.CheckpointWriteMBps,
+	}
+	interval := p.CheckpointInterval(spec)
+	record := func(mb float64) {
+		st.BytesWrittenMB += mb
+		if onWrite != nil {
+			onWrite(mb)
+		}
+	}
+	scheduleNext := func(now sim.Time) {
+		if interval <= 0 {
+			st.Next = DaemonIdle
+			return
+		}
+		target := st.LastStart + interval
+		if target <= now {
+			target = now
+		}
+		st.Next = DaemonIncrStart
+		st.NextAt = target
+	}
+	for st.Next != DaemonIdle && st.NextAt < cutoff {
+		now := st.NextAt
+		switch st.Next {
+		case DaemonFullDone:
+			st.Writing = false
+			st.FullCheckpoints++
+			record(spec.MemoryMB())
+			scheduleNext(now)
+		case DaemonIncrStart:
+			dirty := spec.DirtyRateMBps * (now - st.LastStart)
+			if max := spec.MemoryMB(); dirty > max {
+				dirty = max
+			}
+			st.Writing = true
+			st.LastStart = now
+			st.PendingMB = dirty
+			st.Next = DaemonIncrDone
+			st.NextAt = now + dirty/p.CheckpointWriteMBps
+		case DaemonIncrDone:
+			st.Writing = false
+			st.Incrementals++
+			record(st.PendingMB)
+			scheduleNext(now)
+		}
+	}
+	return st
+}
+
+// RestoreCheckpointDaemon rebuilds a running daemon from a snapshot on a
+// fresh engine whose clock is at or before the snapshot's pending event.
+func RestoreCheckpointDaemon(eng *sim.Engine, spec Spec, p Params, st DaemonState) (*CheckpointDaemon, error) {
+	d, err := NewCheckpointDaemon(eng, spec, p)
+	if err != nil {
+		return nil, err
+	}
+	d.running = true
+	d.lastStart = st.LastStart
+	d.writing = st.Writing
+	d.pendingMB = st.PendingMB
+	d.fullCheckpoints = st.FullCheckpoints
+	d.incrementals = st.Incrementals
+	d.bytesWrittenMB = st.BytesWrittenMB
+	if st.Next == DaemonIdle {
+		return d, nil
+	}
+	at := st.NextAt
+	if now := eng.Now(); at < now {
+		at = now // mirrors scheduleNext's backlog clamp
+	}
+	switch st.Next {
+	case DaemonFullDone:
+		eng.Schedule(at, d.fullDoneFn)
+	case DaemonIncrStart:
+		eng.Schedule(at, d.incrFn)
+	case DaemonIncrDone:
+		eng.Schedule(at, d.incrDoneFn)
+	default:
+		return nil, fmt.Errorf("vm: unknown daemon event kind %d", st.Next)
+	}
+	return d, nil
+}

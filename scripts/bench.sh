@@ -2,7 +2,7 @@
 # Record the benchmark suite to BENCH_${ISSUE}.json: the end-to-end
 # scheduler/fleet benchmarks, the hot-path price-engine component
 # benchmarks, and the sweep-engine grid benchmarks (warm-start + pruning
-# vs the naive cold baseline).
+# vs the naive cold baseline, plus mid-horizon forking on a tau grid).
 #
 # The .raw field holds the verbatim `go test -bench` lines — feed them to
 # benchstat (e.g. `jq -r '.raw[]' BENCH_7.json | benchstat /dev/stdin`) or
@@ -10,15 +10,15 @@
 #   BENCHTIME     iteration count/duration per benchmark (default 3x)
 #   CP_BENCHTIME  iteration count for the 10k-fleet control-plane benchmark
 #                 (default 1x: one iteration registers and completes 10k fleets)
-#   ISSUE         issue number recorded in the JSON (default 9)
+#   ISSUE         issue number recorded in the JSON (default 10)
 #   OUT           output path (default BENCH_${ISSUE}.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='BenchmarkSchedulerMonth$|BenchmarkFleetMonth$|BenchmarkFleetMonthObs$|BenchmarkFleetMonthCatalog$|BenchmarkFigure8MultiMarket$|BenchmarkFigure10PriceVariability$|BenchmarkTraceCursorWalk$|BenchmarkTracePriceAtWalk$|BenchmarkEnvelopeCursorWalk$|BenchmarkEnvelopeCursorWalk10x$|BenchmarkMarketScanWalk$|BenchmarkCorrelationClosedForm$|BenchmarkSweepGrid$|BenchmarkSweepGridCold$'
+BENCHES='BenchmarkSchedulerMonth$|BenchmarkFleetMonth$|BenchmarkFleetMonthObs$|BenchmarkFleetMonthCatalog$|BenchmarkFigure8MultiMarket$|BenchmarkFigure10PriceVariability$|BenchmarkTraceCursorWalk$|BenchmarkTracePriceAtWalk$|BenchmarkEnvelopeCursorWalk$|BenchmarkEnvelopeCursorWalk10x$|BenchmarkMarketScanWalk$|BenchmarkCorrelationClosedForm$|BenchmarkSweepGrid$|BenchmarkSweepGridCold$|BenchmarkSweepGridFork$'
 BENCHTIME="${BENCHTIME:-3x}"
 CP_BENCHTIME="${CP_BENCHTIME:-1x}"
-ISSUE="${ISSUE:-9}"
+ISSUE="${ISSUE:-10}"
 OUT="${OUT:-BENCH_${ISSUE}.json}"
 
 RAW=$(go test -run NONE -bench "$BENCHES" -benchtime "$BENCHTIME" -benchmem .)
